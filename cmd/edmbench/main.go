@@ -1,0 +1,210 @@
+// Command edmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	edmbench -experiment table1|fig5|fig6|fig7|fig8a|fig8b|ablations|incast|all
+//	         [-nodes N] [-ops N] [-seed N]
+//
+// Output is textual rows matching the paper's presentation; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	nodes := flag.Int("nodes", 144, "cluster size for fig8 simulations")
+	ops := flag.Int("ops", 20000, "operations per simulation run")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	fig7ops := flag.Int("fig7ops", 400, "YCSB operations per fig7 ratio")
+	flag.Parse()
+
+	cfg := experiments.Fig8Config{Nodes: *nodes, Bandwidth: 100, OpsPerRun: *ops, Seed: *seed}
+
+	runners := map[string]func() error{
+		"table1":    table1,
+		"fig5":      fig5,
+		"fig6":      fig6,
+		"fig7":      func() error { return fig7(*fig7ops) },
+		"fig8a":     func() error { return fig8a(cfg) },
+		"fig8b":     func() error { return fig8b(cfg) },
+		"ablations": func() error { return ablations(cfg) },
+		"incast":    func() error { return incast(cfg) },
+	}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8a", "fig8b", "ablations", "incast"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("\n================ %s ================\n", name)
+			if err := runners[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "edmbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "edmbench: unknown experiment %q (want one of %v or all)\n", *exp, order)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func tab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1() error {
+	rows, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "Stack\tOp\tNetwork stack\tTotal fabric\tPaper\tMeasured (block-level)\tvs EDM")
+	for _, r := range rows {
+		op := "read"
+		if r.Write {
+			op = "write"
+		}
+		measured := "-"
+		if r.Measured != 0 {
+			measured = r.Measured.String()
+		}
+		fmt.Fprintf(w, "%v\t%s\t%v\t%v\t%v\t%s\t%.1fx\n",
+			r.Stack, op, r.StackTotal, r.Total, r.PaperTotal, measured, r.Ratio())
+	}
+	return w.Flush()
+}
+
+func fig5() error {
+	w := tab()
+	fmt.Fprintln(w, "Location\tOp\tStage\tCycles\tTime")
+	for _, s := range experiments.Fig5() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%v\n", s.Location, s.Op, s.Name, s.Cycles, s.Time)
+	}
+	rc, wc := experiments.Fig5Totals()
+	fmt.Fprintf(w, "\t\tpipeline total (excl. serialization/links)\tread=%d write=%d\t%v / %v\n",
+		rc, wc, sim.Time(rc)*2560*sim.Picosecond, sim.Time(wc)*2560*sim.Picosecond)
+	return w.Flush()
+}
+
+func fig6() error {
+	w := tab()
+	fmt.Fprintln(w, "Workload\tEDM (Mreq/s)\tRDMA (Mreq/s)\tEDM/RDMA")
+	for _, r := range experiments.Fig6() {
+		fmt.Fprintf(w, "%v\t%.1f\t%.1f\t%.2fx\n", r.Workload, r.EDMMrps, r.RDMAMrps, r.Ratio)
+	}
+	return w.Flush()
+}
+
+func fig7(ops int) error {
+	rows, err := experiments.Fig7(ops)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "Local:Remote\tEDM (ns)\tpaper\tCXL (ns)\tpaper\tRDMA (ns)\tpaper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Label, r.EDMNanos, r.PaperEDM, r.CXLNanos, r.PaperCXL, r.RDMANanos, r.PaperRDMA)
+	}
+	return w.Flush()
+}
+
+func fig8a(cfg experiments.Fig8Config) error {
+	rows, err := experiments.Fig8a(cfg, nil)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "Protocol\tLoad\tReads (norm)\tWrites (norm)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.3f\n", r.Proto, r.Load, r.ReadsNorm, r.WritesNorm)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nMixed write:read at load 0.8:")
+	mix, err := experiments.Fig8aMix(cfg, nil)
+	if err != nil {
+		return err
+	}
+	w = tab()
+	fmt.Fprintln(w, "Protocol\tWrite:Read\tNormalized latency")
+	for _, r := range mix {
+		fmt.Fprintf(w, "%s\t%.0f:%.0f\t%.3f\n", r.Proto, r.WriteFrac*100, (1-r.WriteFrac)*100, r.Norm)
+	}
+	return w.Flush()
+}
+
+func fig8b(cfg experiments.Fig8Config) error {
+	rows, err := experiments.Fig8b(cfg)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "Application\tProtocol\tNormalized MCT\tAbsolute mean MCT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.0fns\n", r.App, r.Proto, r.NormMCT, r.AbsMeanNs)
+	}
+	return w.Flush()
+}
+
+func ablations(cfg experiments.Fig8Config) error {
+	w := tab()
+	fmt.Fprintln(w, "Ablation\tValue\tNormalized latency/MCT")
+	for _, run := range []func(experiments.Fig8Config) ([]experiments.AblationRow, error){
+		experiments.AblationChunkSize,
+		experiments.AblationNotifyCap,
+		experiments.AblationPolicy,
+		experiments.AblationPIMIterations,
+		experiments.AblationBatching,
+	} {
+		rows, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.3f\n", r.Param, r.Value, r.Norm)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nIntra-frame preemption (block-level testbed):")
+	pre, err := experiments.AblationPreemption(20)
+	if err != nil {
+		return err
+	}
+	w = tab()
+	fmt.Fprintln(w, "Mux policy\tMean 64B read\tMax 64B read")
+	for _, p := range pre {
+		fmt.Fprintf(w, "%s\t%.0fns\t%.0fns\n", p.Policy, p.MeanReadNs, p.MaxReadNs)
+	}
+	return w.Flush()
+}
+
+func incast(cfg experiments.Fig8Config) error {
+	rows, err := experiments.Incast(cfg, 16, 50)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "Protocol\tMean norm\tP99 norm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", r.Proto, r.MeanNorm, r.P99Norm)
+	}
+	return w.Flush()
+}

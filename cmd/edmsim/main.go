@@ -1,0 +1,92 @@
+// Command edmsim runs a trace (from cmd/tracegen or a file in the same
+// format) through one of the seven protocol models and reports latency
+// statistics — the paper artifact's network simulator (§A.5.2).
+//
+// Usage:
+//
+//	tracegen -profile hadoop | edmsim -protocol EDM
+//	edmsim -protocol CXL -trace trace.txt -nodes 144
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	proto := flag.String("protocol", "EDM", "EDM, IRD, pFabric, PFC, DCTCP, CXL or Fastpass")
+	traceFile := flag.String("trace", "-", "trace file ('-' = stdin)")
+	nodes := flag.Int("nodes", 144, "cluster size (must cover the trace's node ids)")
+	bw := flag.Int64("bw", 100, "link bandwidth (Gbps)")
+	flag.Parse()
+
+	p := netsim.ProtocolByName(*proto)
+	if p == nil {
+		var names []string
+		for _, q := range netsim.Protocols() {
+			names = append(names, q.Name())
+		}
+		fmt.Fprintf(os.Stderr, "edmsim: unknown protocol %q (want one of %v)\n", *proto, names)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *traceFile != "-" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edmsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	ops, err := trace.Read(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edmsim: %v\n", err)
+		os.Exit(1)
+	}
+	if len(ops) == 0 {
+		fmt.Fprintln(os.Stderr, "edmsim: empty trace")
+		os.Exit(1)
+	}
+
+	cfg := netsim.Config{
+		Nodes: *nodes, Bandwidth: sim.Gbps(*bw),
+		Prop: 10 * sim.Nanosecond, PMA: 19 * sim.Nanosecond, MTU: 1500,
+	}
+	res, err := netsim.RunNormalized(p, cfg, ops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "protocol\t%s\n", res.Proto)
+	fmt.Fprintf(w, "operations\t%d\n", res.Completed)
+	fmt.Fprintf(w, "horizon\t%v\n", res.Horizon)
+	all := res.NormalizedSummary(nil)
+	rd := res.NormalizedSummary(netsim.Reads)
+	wr := res.NormalizedSummary(netsim.Writes)
+	fmt.Fprintf(w, "normalized latency (all)\tmean %.3f p50 %.3f p99 %.3f\n", all.Mean, all.P50, all.P99)
+	if rd.N > 0 {
+		fmt.Fprintf(w, "normalized latency (reads)\tmean %.3f p50 %.3f p99 %.3f\n", rd.Mean, rd.P50, rd.P99)
+	}
+	if wr.N > 0 {
+		fmt.Fprintf(w, "normalized latency (writes)\tmean %.3f p50 %.3f p99 %.3f\n", wr.Mean, wr.P50, wr.P99)
+	}
+	abs := make([]float64, 0, len(res.Ops))
+	for _, o := range res.Ops {
+		abs = append(abs, o.Latency.Nanoseconds())
+	}
+	as := stats.Summarize(abs)
+	fmt.Fprintf(w, "absolute latency (ns)\tmean %.0f p50 %.0f p99 %.0f\n", as.Mean, as.P50, as.P99)
+	w.Flush()
+}

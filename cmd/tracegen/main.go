@@ -1,0 +1,61 @@
+// Command tracegen generates synthetic disaggregated-memory traces from the
+// built-in CDF profiles (the paper artifact's trace generator, §A.5.2).
+//
+// Usage:
+//
+//	tracegen -profile hadoop|spark|sparksql|graphlab|memcached|fixed64
+//	         -nodes 144 -load 0.8 -count 20000 -readfrac 0.5 -seed 1 > trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "fixed64", "size profile: hadoop, spark, sparksql, graphlab, memcached, fixed64")
+	nodes := flag.Int("nodes", 144, "cluster size")
+	load := flag.Float64("load", 0.8, "offered load (0,1]")
+	count := flag.Int("count", 20000, "operations")
+	readFrac := flag.Float64("readfrac", 0.5, "fraction of reads")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	bw := flag.Int64("bw", 100, "link bandwidth (Gbps)")
+	flag.Parse()
+
+	var sizes workload.SizeDist
+	switch *profile {
+	case "hadoop":
+		sizes = workload.Hadoop()
+	case "spark":
+		sizes = workload.Spark()
+	case "sparksql":
+		sizes = workload.SparkSQL()
+	case "graphlab":
+		sizes = workload.GraphLab()
+	case "memcached":
+		sizes = workload.Memcached()
+	case "fixed64":
+		sizes = workload.Fixed(64)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	ops, err := workload.Generate(workload.GenConfig{
+		Nodes: *nodes, Load: *load, Bandwidth: sim.Gbps(*bw),
+		Sizes: sizes, ReadFrac: *readFrac, Count: *count, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := trace.Write(os.Stdout, ops); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

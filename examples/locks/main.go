@@ -1,0 +1,107 @@
+// locks: distributed synchronization over disaggregated memory using EDM's
+// RMWREQ path (§3.2.1). Four compute nodes contend for a spinlock word held
+// on a memory node via remote compare-and-swap, each incrementing a shared
+// counter in its critical section; the final counter proves mutual
+// exclusion.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/internal/edm"
+	"repro/internal/memctl"
+)
+
+const (
+	lockAddr    = 0x0
+	counterAddr = 0x40
+	memNode     = 4
+	increments  = 5
+)
+
+// worker acquires the lock, increments the counter, releases, repeats.
+type worker struct {
+	fabric *edm.Fabric
+	node   int
+	left   int
+	done   func(node int)
+}
+
+func (w *worker) acquire() {
+	w.fabric.Host(w.node).RMW(memNode, lockAddr, memctl.OpCAS,
+		[]uint64{0, uint64(w.node) + 1}, func(res []byte, err error) {
+			if err != nil {
+				log.Fatalf("node %d: %v", w.node, err)
+			}
+			if res[0] == 1 {
+				w.critical()
+				return
+			}
+			w.acquire() // lost the race: spin
+		})
+}
+
+func (w *worker) critical() {
+	// Read-modify-write the shared counter under the lock. A plain
+	// read+write is safe here precisely because the lock serializes us.
+	w.fabric.Host(w.node).Read(memNode, counterAddr, 8, func(data []byte, err error) {
+		if err != nil {
+			log.Fatalf("node %d: %v", w.node, err)
+		}
+		v := binary.LittleEndian.Uint64(data)
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, v+1)
+		w.fabric.Host(w.node).Write(memNode, counterAddr, buf, func(err error) {
+			if err != nil {
+				log.Fatalf("node %d: %v", w.node, err)
+			}
+			w.release()
+		})
+	})
+}
+
+func (w *worker) release() {
+	// Swap the lock back to 0 (unlock is unconditional).
+	w.fabric.Host(w.node).RMW(memNode, lockAddr, memctl.OpSwap,
+		[]uint64{0}, func(_ []byte, err error) {
+			if err != nil {
+				log.Fatalf("node %d: %v", w.node, err)
+			}
+			w.left--
+			if w.left > 0 {
+				w.acquire()
+				return
+			}
+			w.done(w.node)
+		})
+}
+
+func main() {
+	fabric := edm.New(edm.DefaultConfig(5))
+	fabric.AttachMemory(memNode, memctl.New(memctl.DefaultConfig()))
+
+	finished := 0
+	for n := 0; n < 4; n++ {
+		w := &worker{fabric: fabric, node: n, left: increments, done: func(node int) {
+			finished++
+			fmt.Printf("node %d finished its %d increments at t=%v\n",
+				node, increments, fabric.Engine.Now())
+		}}
+		w.acquire()
+	}
+	fabric.Run()
+
+	data, _, err := fabric.Host(memNode).Memory().Read(counterAddr, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint64(data)
+	fmt.Printf("\nshared counter = %d (want %d), workers finished = %d/4\n",
+		got, 4*increments, finished)
+	if got != 4*increments {
+		log.Fatal("mutual exclusion violated!")
+	}
+	fmt.Println("mutual exclusion held: every increment serialized by the remote CAS lock")
+}

@@ -1,0 +1,43 @@
+// Package core is the entry point to the paper's primary contribution: the
+// EDM fabric (PHY-layer remote-memory protocol + centralized in-network
+// scheduler). It aliases the user-facing types of internal/edm and
+// internal/sched so applications have a single import, and documents how
+// the pieces compose:
+//
+//   - Fabric (internal/edm): N hosts and one EDM switch at 66-bit block
+//     granularity — the software testbed. Build with New(DefaultConfig(n)),
+//     attach memory controllers, then issue Read/Write/RMW from any host.
+//   - Scheduler (internal/sched): the priority-PIM grant engine embedded in
+//     the switch; also usable standalone (internal/netsim drives it at
+//     message level for the large-scale simulations).
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package core
+
+import (
+	"repro/internal/edm"
+	"repro/internal/sched"
+)
+
+// Fabric is the block-level EDM testbed (hosts + switch + links).
+type Fabric = edm.Fabric
+
+// Config parameterizes a Fabric; DefaultConfig reproduces the paper's
+// 25 GbE FPGA testbed.
+type Config = edm.Config
+
+// Message is a remote-memory message (RREQ/WREQ/RMWREQ/RRES).
+type Message = edm.Message
+
+// Scheduler is the centralized PIM memory-traffic scheduler.
+type Scheduler = sched.Scheduler
+
+// Grant is one scheduling decision.
+type Grant = sched.Grant
+
+// New builds a fabric.
+func New(cfg Config) *Fabric { return edm.New(cfg) }
+
+// DefaultConfig is the paper's testbed configuration for n ports.
+func DefaultConfig(n int) Config { return edm.DefaultConfig(n) }

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memctl"
+)
+
+// TestFacade exercises the aliased entry points end to end: the package
+// must expose a working fabric without callers importing internal/edm.
+func TestFacade(t *testing.T) {
+	fabric := New(DefaultConfig(2))
+	fabric.AttachMemory(1, memctl.New(memctl.DefaultConfig()))
+	lat, err := fabric.WriteSync(0, 1, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("non-positive write latency")
+	}
+	data, _, err := fabric.ReadSync(0, 1, 0, 8)
+	if err != nil || data[0] != 1 {
+		t.Fatalf("read: %v %v", data, err)
+	}
+}

@@ -1,0 +1,114 @@
+package edm
+
+import (
+	"errors"
+
+	"repro/internal/memctl"
+	"repro/internal/sim"
+)
+
+// DualFabric implements the paper's fault-tolerance design (§3.3): a
+// primary and a back-up ToR switch network. Every outgoing remote-memory
+// operation is mirrored on both planes so the two switches observe the same
+// message stream and keep their scheduler state synchronized (no consensus
+// needed: all communication is single-hop, so both replicas see each pair's
+// messages in the same order). The receive side accepts the first completed
+// copy of an operation and ignores the duplicate. If either plane's switch
+// or links fail, operations continue over the survivor with no
+// reconfiguration; only the per-op latency changes (the loser's copy times
+// out silently).
+type DualFabric struct {
+	// Primary and Backup are complete independent fabrics (switch + links).
+	Primary, Backup *Fabric
+	engine          *sim.Engine
+}
+
+// ErrBothPlanesFailed reports an operation that completed on neither plane.
+var ErrBothPlanesFailed = errors.New("edm: operation failed on both planes")
+
+// NewDual builds a dual-plane fabric; both planes share one event engine so
+// simulated time is common.
+func NewDual(cfg Config) *DualFabric {
+	engine := sim.NewEngine()
+	return &DualFabric{
+		Primary: NewWithEngine(cfg, engine),
+		Backup:  NewWithEngine(cfg, engine),
+		engine:  engine,
+	}
+}
+
+// Engine returns the shared event engine.
+func (d *DualFabric) Engine() *sim.Engine { return d.engine }
+
+// AttachMemory attaches identical memory state to port i on both planes.
+// The two controllers are replicas: both apply every write and RMW because
+// both planes carry every message.
+func (d *DualFabric) AttachMemory(i int, mk func() *memctl.Controller) {
+	d.Primary.AttachMemory(i, mk())
+	d.Backup.AttachMemory(i, mk())
+}
+
+// FailPrimarySwitch disables every link of the primary plane, simulating a
+// ToR switch failure.
+func (d *DualFabric) FailPrimarySwitch() {
+	for i := 0; i < d.Primary.cfg.Ports; i++ {
+		d.Primary.DisableLink(i)
+	}
+}
+
+// Read mirrors a remote read on both planes and delivers the first copy.
+func (d *DualFabric) Read(from, memNode int, addr uint64, n int, cb ReadCallback) {
+	done := false
+	var lastErr error
+	pending := 2
+	each := func(data []byte, err error) {
+		pending--
+		if done {
+			return
+		}
+		if err == nil {
+			done = true
+			cb(data, nil)
+			return
+		}
+		lastErr = err
+		if pending == 0 {
+			done = true
+			cb(nil, errors.Join(ErrBothPlanesFailed, lastErr))
+		}
+	}
+	d.Primary.Host(from).Read(memNode, addr, n, each)
+	d.Backup.Host(from).Read(memNode, addr, n, each)
+}
+
+// Write mirrors a remote write on both planes; cb fires when the first
+// replica has applied it. Both replicas converge because each plane applies
+// every mirrored write in the same per-pair order.
+func (d *DualFabric) Write(from, memNode int, addr uint64, data []byte, cb WriteCallback) {
+	done := false
+	pending := 2
+	each := func(err error) {
+		pending--
+		if done {
+			return
+		}
+		if err == nil {
+			done = true
+			if cb != nil {
+				cb(nil)
+			}
+			return
+		}
+		if pending == 0 {
+			done = true
+			if cb != nil {
+				cb(errors.Join(ErrBothPlanesFailed, err))
+			}
+		}
+	}
+	d.Primary.Host(from).Write(memNode, addr, data, each)
+	d.Backup.Host(from).Write(memNode, addr, data, each)
+}
+
+// Run drains the shared engine.
+func (d *DualFabric) Run() { d.engine.Run() }

@@ -1,0 +1,136 @@
+package edm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newDualTestbed(t *testing.T) *DualFabric {
+	t.Helper()
+	cfg := DefaultConfig(2)
+	cfg.ReadTimeout = 5 * sim.Microsecond
+	d := NewDual(cfg)
+	d.AttachMemory(1, fastMem)
+	return d
+}
+
+func TestDualReadHealthy(t *testing.T) {
+	d := newDualTestbed(t)
+	// Seed both replicas through the mirrored write path.
+	var werr error
+	d.Write(0, 1, 0, bytes.Repeat([]byte{0x3c}, 64), func(err error) { werr = err })
+	d.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	d.Read(0, 1, 0, 64, func(data []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = data
+	})
+	d.Run()
+	if len(got) != 64 || got[0] != 0x3c {
+		t.Fatal("dual read wrong data")
+	}
+	// Both replicas applied the write.
+	for _, f := range []*Fabric{d.Primary, d.Backup} {
+		data, _, err := f.Host(1).Memory().Read(0, 64)
+		if err != nil || data[0] != 0x3c {
+			t.Fatal("replica divergence")
+		}
+	}
+}
+
+func TestDualSurvivesPrimarySwitchFailure(t *testing.T) {
+	d := newDualTestbed(t)
+	var werr error
+	d.Write(0, 1, 0, bytes.Repeat([]byte{0x11}, 64), func(err error) { werr = err })
+	d.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	d.FailPrimarySwitch()
+	completed := 0
+	for i := 0; i < 5; i++ {
+		d.Read(0, 1, 0, 64, func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read after failover: %v", err)
+				return
+			}
+			if data[0] != 0x11 {
+				t.Error("failover read wrong data")
+				return
+			}
+			completed++
+		})
+	}
+	d.Run()
+	if completed != 5 {
+		t.Fatalf("completed %d of 5 after primary failure", completed)
+	}
+	// Writes also continue, applied on the surviving replica.
+	d.Write(0, 1, 4096, []byte{9, 9, 9, 9, 9, 9, 9, 9}, func(err error) {
+		if err != nil {
+			t.Errorf("write after failover: %v", err)
+		}
+	})
+	d.Run()
+	data, _, err := d.Backup.Host(1).Memory().Read(4096, 8)
+	if err != nil || data[0] != 9 {
+		t.Fatal("failover write not applied on backup")
+	}
+}
+
+func TestDualBothPlanesFailed(t *testing.T) {
+	d := newDualTestbed(t)
+	d.FailPrimarySwitch()
+	for i := 0; i < d.Backup.cfg.Ports; i++ {
+		d.Backup.DisableLink(i)
+	}
+	var gotErr error
+	d.Read(0, 1, 0, 64, func(_ []byte, err error) { gotErr = err })
+	d.Run()
+	if !errors.Is(gotErr, ErrBothPlanesFailed) {
+		t.Fatalf("err = %v, want ErrBothPlanesFailed", gotErr)
+	}
+}
+
+func TestDualLatencyMatchesSinglePlane(t *testing.T) {
+	// With both planes healthy the first copy wins, so dual-plane latency
+	// equals single-plane latency (mirroring costs bandwidth, not time).
+	d := newDualTestbed(t)
+	var wdone bool
+	d.Write(0, 1, 0, make([]byte, 64), func(error) { wdone = true })
+	d.Run()
+	if !wdone {
+		t.Fatal("seed write incomplete")
+	}
+	start := d.Engine().Now()
+	var lat sim.Time
+	d.Read(0, 1, 0, 64, func(_ []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat = d.Engine().Now() - start
+	})
+	d.Run()
+
+	single := New(DefaultConfig(2))
+	single.AttachMemory(1, fastMem())
+	if _, err := single.Host(1).Memory().Write(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	_, sLat, err := single.ReadSync(0, 1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != sLat {
+		t.Fatalf("dual latency %v != single %v", lat, sLat)
+	}
+}

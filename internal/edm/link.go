@@ -1,0 +1,70 @@
+package edm
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Link is one direction of an Ethernet link at block granularity. The
+// sender's block pump paces transmissions at one block per PCS cycle, so the
+// link itself only models latency: PMA/PMD+transceiver at each end plus
+// propagation. It also provides the fault hooks of §3.3: administrative
+// disable and periodic corruption injection.
+type Link struct {
+	engine *sim.Engine
+	prop   sim.Time
+	pma    sim.Time
+	// Deliver receives each block at the far end.
+	Deliver func(phy.Block)
+
+	disabled     bool
+	corruptEvery uint64 // corrupt every Nth block; 0 = never
+	sent         uint64
+	dropped      uint64
+}
+
+// NewLink returns a link with the given one-way propagation delay and
+// per-crossing PMA/PMD delay.
+func NewLink(engine *sim.Engine, prop, pma sim.Time) *Link {
+	return &Link{engine: engine, prop: prop, pma: pma}
+}
+
+// Latency reports the fixed one-way latency a block experiences after
+// serialization: TX PMA + propagation + RX PMA.
+func (l *Link) Latency() sim.Time { return 2*l.pma + l.prop }
+
+// Disable makes the link silently drop all traffic — the paper's response
+// to persistent data corruption (§3.3).
+func (l *Link) Disable() { l.disabled = true }
+
+// Enable re-enables a disabled link.
+func (l *Link) Enable() { l.disabled = false }
+
+// Disabled reports the administrative state.
+func (l *Link) Disabled() bool { return l.disabled }
+
+// CorruptOneIn makes every nth block arrive with a flipped payload byte
+// (n=0 disables injection). Corruption is detected by the receiver's
+// descrambler/decode path.
+func (l *Link) CorruptOneIn(n uint64) { l.corruptEvery = n }
+
+// Stats reports blocks sent and dropped.
+func (l *Link) Stats() (sent, dropped uint64) { return l.sent, l.dropped }
+
+// Send schedules delivery of one block. The caller is responsible for
+// pacing (one block per BlockPeriod).
+func (l *Link) Send(b phy.Block) {
+	if l.disabled {
+		l.dropped++
+		return
+	}
+	l.sent++
+	if l.corruptEvery > 0 && l.sent%l.corruptEvery == 0 {
+		b.Payload[1] ^= 0x40 // single bit error on the line
+	}
+	l.engine.After(l.Latency(), func() {
+		if l.Deliver != nil {
+			l.Deliver(b)
+		}
+	})
+}

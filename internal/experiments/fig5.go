@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/edm"
+	"repro/internal/sim"
+)
+
+// Fig5Stage is one arrow of Figure 5: a pipeline stage on the 64 B
+// read/write path with its cycle cost (2.56 ns cycles).
+type Fig5Stage struct {
+	Location string // "compute", "switch", "memory", "wire"
+	Op       string // "read", "write", or "both"
+	Name     string
+	Cycles   int
+	Time     sim.Time
+}
+
+func stage(loc, op, name string, cycles int) Fig5Stage {
+	return Fig5Stage{Location: loc, Op: op, Name: name, Cycles: cycles,
+		Time: sim.Time(cycles) * edm.BlockPeriod}
+}
+
+// Fig5 reproduces the latency breakdown of Figure 5: every pipeline stage a
+// 64 B read and write traverse, with the cycle counts of §3.2.1-§3.2.2.
+// Wire stages (TD+PD) are reported separately by the caller from the fabric
+// configuration.
+func Fig5() []Fig5Stage {
+	return []Fig5Stage{
+		// Write path: notify -> grant -> WREQ.
+		stage("compute", "write", "generate /N/ (read msg queue + create block)", edm.GenNotifyCycles),
+		stage("switch", "write", "classify /N/ and enqueue notification", edm.SwClassifyCycles),
+		stage("switch", "write", "generate /G/", edm.SwGenGrantCycles),
+		stage("compute", "write", "receive /G/ (parse + grant queue)", edm.RxGrantCycles),
+		stage("compute", "write", "read grant queue (RX->TX clock crossing)", edm.GrantReadCycles),
+		stage("compute", "write", "generate WREQ data blocks", edm.GenDataCycles),
+		stage("switch", "write", "forward WREQ blocks (RX->TX crossing)", edm.SwForwardCycles),
+		stage("memory", "write", "receive WREQ data (parse+extract+deliver)", edm.RxDataCycles),
+
+		// Read path: RREQ -> implicit grant -> RRES.
+		stage("compute", "read", "generate RREQ (read msg queue + create block)", edm.GenRequestCycles),
+		stage("switch", "read", "classify RREQ as implicit notification", edm.SwClassifyCycles),
+		stage("switch", "read", "forward buffered RREQ as first grant", edm.SwForwardCycles),
+		stage("memory", "read", "receive RREQ (+1 cycle to memory controller)", edm.RxDataCycles+edm.RxReqToMemCycles),
+		stage("memory", "read", "generate RRES data blocks", edm.GenDataCycles),
+		stage("switch", "read", "forward RRES blocks (RX->TX crossing)", edm.SwForwardCycles),
+		stage("compute", "read", "receive RRES data (parse+extract+deliver)", edm.RxDataCycles),
+	}
+}
+
+// Fig5Totals sums the stage cycles per operation.
+func Fig5Totals() (readCycles, writeCycles int) {
+	for _, s := range Fig5() {
+		switch s.Op {
+		case "read":
+			readCycles += s.Cycles
+		case "write":
+			writeCycles += s.Cycles
+		case "both":
+			readCycles += s.Cycles
+			writeCycles += s.Cycles
+		}
+	}
+	return readCycles, writeCycles
+}

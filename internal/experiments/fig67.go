@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/edm"
+	"repro/internal/kvstore"
+	"repro/internal/memctl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Figure 6 workload constants (§4.2.2): each read queries 1 KB, each write
+// carries 100 B, RREQ is 8 B.
+const (
+	fig6ReadBytes  = 1024
+	fig6WriteBytes = 100
+	fig6Bandwidth  = sim.Gbps(100)
+	// fig6Window is the client's outstanding-request window: the KV client
+	// keeps this many operations in flight (closed loop). EDM saturates
+	// the link inside this window; RDMA's microsecond-scale stack makes it
+	// latency-bound — the mechanism behind the paper's ~2.7x gap.
+	fig6Window = 16
+)
+
+// Fig6Row is one workload group of Figure 6.
+type Fig6Row struct {
+	Workload workload.YCSBWorkload
+	EDMMrps  float64
+	RDMAMrps float64
+	Ratio    float64
+}
+
+// wirePerOp reports the bottleneck-direction wire bytes per operation for
+// the given stack and write fraction: reads move fig6ReadBytes from the
+// memory node (its TX), writes move fig6WriteBytes into it (its RX). The
+// memory node's TX dominates for read-heavy mixes.
+func wirePerOp(s transport.Stack, writeFrac float64) float64 {
+	readFrac := 1 - writeFrac
+	tx := readFrac * float64(transport.WireBytes(s, fig6ReadBytes))
+	rx := readFrac*float64(transport.WireBytes(s, 8)) +
+		writeFrac*float64(transport.WireBytes(s, fig6WriteBytes))
+	if s == transport.StackEDM {
+		// Grants and notifications share the links: one 9 B block per
+		// 256 B chunk granted plus one notification per write (§3.1.4).
+		chunks := float64((fig6ReadBytes + 255) / 256)
+		rx += readFrac*chunks*9 + writeFrac*9
+		tx += writeFrac * 9
+	}
+	if tx > rx {
+		return tx
+	}
+	return rx
+}
+
+// stackLatencyPerOp is the mean unloaded operation latency for the mix.
+func stackLatencyPerOp(s transport.Stack, writeFrac float64) sim.Time {
+	r := transport.Table1(s, false).Total()
+	w := transport.Table1(s, true).Total()
+	return sim.Time(float64(r)*(1-writeFrac) + float64(w)*writeFrac)
+}
+
+// Fig6 computes the request throughput of EDM vs RDMA for YCSB A, B and F:
+// throughput = min(link-bound, window/latency-bound), per the closed-loop
+// client model above.
+func Fig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, w := range []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBF} {
+		wf := w.WriteFraction()
+		rate := func(s transport.Stack) float64 {
+			linkBound := float64(fig6Bandwidth) * 1e9 / (8 * wirePerOp(s, wf))
+			latBound := fig6Window / (float64(stackLatencyPerOp(s, wf)) * 1e-12)
+			if latBound < linkBound {
+				return latBound / 1e6
+			}
+			return linkBound / 1e6
+		}
+		e, r := rate(transport.StackEDM), rate(transport.StackRoCE)
+		rows = append(rows, Fig6Row{Workload: w, EDMMrps: e, RDMAMrps: r, Ratio: e / r})
+	}
+	return rows
+}
+
+// Figure 7: end-to-end average latency of YCSB-A over a store whose objects
+// are split local:remote in the paper's five ratios.
+
+// Fig7Row is one group of Figure 7.
+type Fig7Row struct {
+	Label      string // e.g. "50:50"
+	LocalFrac  float64
+	EDMNanos   float64
+	CXLNanos   float64
+	RDMANanos  float64
+	PaperEDM   float64 // paper-reported values for comparison
+	PaperCXL   float64
+	PaperRDMA  float64
+	EDMSamples stats.Summary
+}
+
+// fig7Ratios are the paper's Local:Remote splits with its reported values.
+var fig7Ratios = []struct {
+	label             string
+	localFrac         float64
+	pEDM, pCXL, pRDMA float64
+}{
+	{"100:10", 100.0 / 110, 113, 107, 227},
+	{"66:34", 0.66, 195, 168, 639},
+	{"50:50", 0.50, 250, 207, 915},
+	{"34:66", 0.34, 311, 252, 1218},
+	{"10:100", 10.0 / 110, 395, 313, 1637},
+}
+
+// CXL latency model for Figure 7: one switch hop each way (~100 ns, Pond)
+// plus the controller path; calibrated to the paper's measured ~230 ns
+// remote access excess over local DRAM.
+const cxlRemoteFabric = 230 * sim.Nanosecond
+
+// Fig7 measures EDM's per-ratio average latency on the block-level fabric
+// (64 B objects, YCSB-A zipfian keys remapped uniformly across the tiers so
+// the local fraction is exact) and compares against the CXL and RDMA
+// latency models.
+func Fig7(opsPerRatio int) ([]Fig7Row, error) {
+	if opsPerRatio <= 0 {
+		opsPerRatio = 400
+	}
+	var rows []Fig7Row
+	for _, rc := range fig7Ratios {
+		// Build a fresh testbed per ratio with realistic DRAM timing.
+		f := edm.New(edm.DefaultConfig(2))
+		f.AttachMemory(1, memctl.New(memctl.DefaultConfig()))
+		local := memctl.New(memctl.DefaultConfig())
+		slots := 4096
+		st, err := kvstore.New(f, 0, 1, local, kvstore.Config{
+			Slots: slots, SlotBytes: 64,
+			LocalSlots: int(rc.localFrac * float64(slots)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", rc.label, err)
+		}
+		lats, err := st.RunYCSB(workload.YCSBA, opsPerRatio, 99)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", rc.label, err)
+		}
+		// Key popularity is zipfian, which would skew the local fraction;
+		// reweight to the exact split the paper prescribes by averaging
+		// local and remote pools separately.
+		var localSum, remoteSum float64
+		var localN, remoteN int
+		samples := make([]float64, 0, len(lats))
+		for _, l := range lats {
+			ns := l.Latency.Nanoseconds()
+			samples = append(samples, ns)
+			if l.Local {
+				localSum += ns
+				localN++
+			} else {
+				remoteSum += ns
+				remoteN++
+			}
+		}
+		if localN == 0 {
+			localSum, localN = measureLocalDRAM(), 1
+		}
+		if remoteN == 0 {
+			return nil, fmt.Errorf("fig7 %s: no remote samples", rc.label)
+		}
+		localAvg := localSum / float64(localN)
+		remoteAvg := remoteSum / float64(remoteN)
+		edmAvg := rc.localFrac*localAvg + (1-rc.localFrac)*remoteAvg
+
+		// Baselines: same local tier, different remote fabrics.
+		rdmaRemote := localAvg + float64(stackLatencyPerOp(transport.StackRoCE, 0.5))/1000
+		cxlRemote := localAvg + float64(cxlRemoteFabric)/1000
+		rows = append(rows, Fig7Row{
+			Label:     rc.label,
+			LocalFrac: rc.localFrac,
+			EDMNanos:  edmAvg,
+			CXLNanos:  rc.localFrac*localAvg + (1-rc.localFrac)*cxlRemote,
+			RDMANanos: rc.localFrac*localAvg + (1-rc.localFrac)*rdmaRemote,
+			PaperEDM:  rc.pEDM, PaperCXL: rc.pCXL, PaperRDMA: rc.pRDMA,
+			EDMSamples: stats.Summarize(samples),
+		})
+	}
+	return rows, nil
+}
+
+// measureLocalDRAM returns the average latency (ns) of a 64 B local DRAM
+// access with default timing, used when a ratio has no local keys.
+func measureLocalDRAM() float64 {
+	ctl := memctl.New(memctl.DefaultConfig())
+	_, t, err := ctl.Read(0, 64)
+	if err != nil {
+		return 82
+	}
+	return t.Nanoseconds()
+}

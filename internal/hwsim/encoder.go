@@ -1,0 +1,112 @@
+package hwsim
+
+// EncodeCycles is the latency of a priority-encoder lookup. A priority
+// encoder is pure combinational logic; its output settles within the same
+// clock cycle its inputs are applied (§3.1.2: "a priority encoder
+// synchronously returns the most significant index set to 1").
+const EncodeCycles = 1
+
+// PriorityEncoder models an N-input hardware priority encoder: given a bit
+// vector, it reports the lowest index whose bit is set. In EDM the array is
+// pre-sorted so that lower index = higher priority, which lets a source port
+// pick the highest-priority matching request among up to N contenders in one
+// cycle instead of log(N) cycles of comparator tree.
+type PriorityEncoder struct {
+	bits []bool
+}
+
+// NewPriorityEncoder returns an encoder over n inputs.
+func NewPriorityEncoder(n int) *PriorityEncoder {
+	return &PriorityEncoder{bits: make([]bool, n)}
+}
+
+// Size reports the input width.
+func (p *PriorityEncoder) Size() int { return len(p.bits) }
+
+// Set asserts input i.
+func (p *PriorityEncoder) Set(i int) { p.bits[i] = true }
+
+// ClearAll deasserts every input (done between PIM iterations).
+func (p *PriorityEncoder) ClearAll() {
+	for i := range p.bits {
+		p.bits[i] = false
+	}
+}
+
+// Encode returns the lowest asserted index, or ok=false if no input is set.
+func (p *PriorityEncoder) Encode() (int, bool) {
+	for i, b := range p.bits {
+		if b {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SortedArray is the per-source-port structure from §3.1.2: an array of
+// destination-port numbers kept sorted by the priority of each destination's
+// best pending message, paired with a priority encoder over the array
+// indices. During PIM's second cycle each requesting destination sets the
+// bit at its array position in parallel, and the encoder returns the
+// position of the highest-priority requester.
+type SortedArray struct {
+	list    OrderedList[int] // value = destination port
+	encoder *PriorityEncoder
+}
+
+// NewSortedArray returns an array sized for n destinations.
+func NewSortedArray(n int) *SortedArray {
+	return &SortedArray{encoder: NewPriorityEncoder(n)}
+}
+
+// Update sets destination dst's priority key, inserting it if absent. Called
+// on every demand notification arrival and priority change, mirroring the
+// notification queue updates.
+func (s *SortedArray) Update(dst int, key int64) {
+	s.list.DeleteWhere(func(d int) bool { return d == dst })
+	s.list.Insert(key, dst)
+}
+
+// Remove deletes destination dst from the array (its queue went empty).
+func (s *SortedArray) Remove(dst int) {
+	s.list.DeleteWhere(func(d int) bool { return d == dst })
+}
+
+// Len reports how many destinations are present.
+func (s *SortedArray) Len() int { return s.list.Len() }
+
+// Arbitrate resolves one PIM grant cycle: given the set of destinations
+// requesting this source, it returns the one whose queue priority is
+// highest. Cost: EncodeCycles (1 cycle), regardless of contender count.
+func (s *SortedArray) Arbitrate(requesting map[int]bool) (int, bool) {
+	s.encoder.ClearAll()
+	idx := 0
+	found := false
+	s.list.Scan(func(e Entry[int]) bool {
+		if idx >= s.encoder.Size() {
+			return false
+		}
+		if requesting[e.Value] {
+			s.encoder.Set(idx)
+			found = true
+		}
+		idx++
+		return true
+	})
+	if !found {
+		return 0, false
+	}
+	pos, _ := s.encoder.Encode()
+	// Map encoder position back to the destination stored there.
+	var dst int
+	i := 0
+	s.list.Scan(func(e Entry[int]) bool {
+		if i == pos {
+			dst = e.Value
+			return false
+		}
+		i++
+		return true
+	})
+	return dst, true
+}

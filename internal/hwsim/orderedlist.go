@@ -1,0 +1,129 @@
+// Package hwsim models the hardware data structures EDM's scheduler is built
+// from, with their cycle costs.
+//
+// The paper's scheduler achieves constant-time PIM iterations by using
+// recent hardware ordered-list designs (Shrivastav, SIGCOMM'19/'22; PIFO,
+// SIGCOMM'16) plus a priority encoder. In hardware these structures perform
+// parallel reads, comparisons and shifts across all entries in a single
+// clock; in software we model the same *interface and cycle costs* with
+// conventional algorithms, and the scheduler charges the documented cycle
+// costs when computing latency.
+package hwsim
+
+import "sort"
+
+// Cycle costs of the ordered-list hardware (§3.1.2): inserts and deletes
+// take 2 cycles and are fully pipelined (a new operation may be issued every
+// cycle); reading the head takes 1 cycle.
+const (
+	InsertCycles = 2
+	DeleteCycles = 2
+	PeekCycles   = 1
+)
+
+// Entry is one ordered-list element: a 64-bit priority key (lower value =
+// higher priority) and an opaque value.
+type Entry[V any] struct {
+	Key   int64
+	Value V
+	seq   uint64 // insertion order; ties dequeue FIFO, matching shift-register hardware
+}
+
+// OrderedList is a constant-cycle hardware priority queue model. Entries are
+// kept sorted ascending by (Key, insertion order).
+type OrderedList[V any] struct {
+	entries []Entry[V]
+	nextSeq uint64
+	ops     uint64 // total operations issued, for pipeline accounting
+}
+
+// Len reports the number of entries.
+func (l *OrderedList[V]) Len() int { return len(l.entries) }
+
+// Ops reports how many mutating operations have been issued (each occupies
+// one pipeline slot; latency of each is 2 cycles).
+func (l *OrderedList[V]) Ops() uint64 { return l.ops }
+
+// Insert adds an entry.
+func (l *OrderedList[V]) Insert(key int64, v V) {
+	l.ops++
+	e := Entry[V]{Key: key, Value: v, seq: l.nextSeq}
+	l.nextSeq++
+	i := sort.Search(len(l.entries), func(i int) bool {
+		other := l.entries[i]
+		if other.Key != key {
+			return other.Key > key
+		}
+		return other.seq > e.seq
+	})
+	l.entries = append(l.entries, Entry[V]{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+}
+
+// PeekMin returns the highest-priority entry without removing it.
+func (l *OrderedList[V]) PeekMin() (Entry[V], bool) {
+	if len(l.entries) == 0 {
+		return Entry[V]{}, false
+	}
+	return l.entries[0], true
+}
+
+// PeekMinWhere returns the highest-priority entry satisfying pred. In
+// hardware the predicate is a parallel mask over all entries evaluated in
+// the same cycle as the read (this is how PIM step 1 skips busy sources).
+func (l *OrderedList[V]) PeekMinWhere(pred func(V) bool) (Entry[V], bool) {
+	for _, e := range l.entries {
+		if pred(e.Value) {
+			return e, true
+		}
+	}
+	return Entry[V]{}, false
+}
+
+// DeleteMin removes and returns the highest-priority entry.
+func (l *OrderedList[V]) DeleteMin() (Entry[V], bool) {
+	if len(l.entries) == 0 {
+		return Entry[V]{}, false
+	}
+	l.ops++
+	e := l.entries[0]
+	l.entries = l.entries[1:]
+	return e, true
+}
+
+// DeleteWhere removes the first (highest-priority) entry satisfying pred and
+// reports whether one was found.
+func (l *OrderedList[V]) DeleteWhere(pred func(V) bool) (Entry[V], bool) {
+	for i, e := range l.entries {
+		if pred(e.Value) {
+			l.ops++
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			return e, true
+		}
+	}
+	return Entry[V]{}, false
+}
+
+// UpdateKey changes the priority of the first entry satisfying pred,
+// preserving FIFO order among equal keys. Hardware implements this as a
+// delete+insert pipeline (the paper updates priorities when remaining bytes
+// change under SRPT).
+func (l *OrderedList[V]) UpdateKey(pred func(V) bool, newKey int64) bool {
+	e, ok := l.DeleteWhere(pred)
+	if !ok {
+		return false
+	}
+	l.Insert(newKey, e.Value)
+	return true
+}
+
+// Scan calls fn for each entry in priority order; used by tests and for
+// demand-matrix snapshots.
+func (l *OrderedList[V]) Scan(fn func(Entry[V]) bool) {
+	for _, e := range l.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}

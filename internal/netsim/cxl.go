@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CXL models a PCIe/CXL switch fabric: 256 B flits, link-level credit-based
+// flow control, and an input-queued switch. Its unloaded latency is
+// excellent (thin stack, ~100 ns per switch hop), but under load the
+// credit loop fails exactly as §4.3.1 describes: an incast victim egress
+// holds flits in ingress queues, those flits pin credits, and the deficit
+// blocks every other flow crossing the same ingress — head-of-line
+// blocking equivalent to PFC's.
+type CXL struct {
+	// FlitBytes is the transfer granularity (default 256, CXL 3.0 flit).
+	FlitBytes int
+	// Credits per sender link (default 8 flits).
+	Credits int
+	// HopLatency is the per-switch-hop latency (default 100 ns, Pond).
+	HopLatency sim.Time
+	// StackLatency is the endpoint controller latency (default 70 ns).
+	StackLatency sim.Time
+}
+
+// Name implements Protocol.
+func (c *CXL) Name() string { return "CXL" }
+
+// WireBytes implements Protocol.
+func (c *CXL) WireBytes(n int) int {
+	flit := c.FlitBytes
+	if flit == 0 {
+		flit = 256
+	}
+	total := 0
+	for _, f := range packetize(n, flit) {
+		total += f + cxlFlitOverhead
+	}
+	return total
+}
+
+// ReqWireBytes implements Protocol.
+func (c *CXL) ReqWireBytes() int { return 64 + cxlFlitOverhead }
+
+func (c *CXL) defaults() {
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 256
+	}
+	if c.Credits == 0 {
+		c.Credits = 8
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 100 * sim.Nanosecond
+	}
+	if c.StackLatency == 0 {
+		c.StackLatency = 70 * sim.Nanosecond
+	}
+}
+
+// cxlFlitOverhead is the per-flit framing (CRC, sequence, DLLP share).
+const cxlFlitOverhead = 16
+
+type cxlFlit struct {
+	opIdx int
+	data  int
+	isReq bool
+	size  int
+	wire  int
+	src   int
+	dst   int
+}
+
+type cxlIngress struct {
+	q     []*cxlFlit
+	bytes int64
+}
+
+type cxlRun struct {
+	p       *CXL
+	cfg     Config
+	eng     *sim.Engine
+	nicQ    [][]*cxlFlit
+	nicBusy []bool
+	credits []int
+	ingress []*cxlIngress
+	egBusy  []bool
+	rr      []int
+	track   *tracker
+	stalls  uint64 // sends blocked on zero credits
+}
+
+// Run implements Protocol.
+func (c *CXL) Run(cfg Config, ops []workload.Op) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c.defaults()
+	eng := sim.NewEngine()
+	r := &cxlRun{p: c, cfg: cfg, eng: eng, track: newTracker(eng, c.Name(), ops)}
+	r.nicQ = make([][]*cxlFlit, cfg.Nodes)
+	r.nicBusy = make([]bool, cfg.Nodes)
+	r.credits = make([]int, cfg.Nodes)
+	r.ingress = make([]*cxlIngress, cfg.Nodes)
+	r.egBusy = make([]bool, cfg.Nodes)
+	r.rr = make([]int, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		r.credits[i] = c.Credits
+		r.ingress[i] = &cxlIngress{}
+	}
+	for _, op := range ops {
+		op := op
+		eng.At(op.Arrival, func() { r.arrive(op) })
+	}
+	eng.Run()
+	if r.track.res.Completed != len(ops) {
+		return nil, fmt.Errorf("cxl run: %d of %d ops completed", r.track.res.Completed, len(ops))
+	}
+	return r.track.finish(), nil
+}
+
+func (r *cxlRun) arrive(op workload.Op) {
+	r.eng.After(r.p.StackLatency, func() {
+		if op.Read {
+			// Read request flit c->m; the memory side streams data back.
+			f := &cxlFlit{opIdx: op.Index, isReq: true, size: op.Size, src: op.Src, dst: op.Dst}
+			f.wire = 64 + cxlFlitOverhead // request slot: address + framing
+			r.nicEnqueue(f)
+			return
+		}
+		r.enqueueData(op.Src, op.Dst, op.Index, op.Size)
+	})
+}
+
+func (r *cxlRun) enqueueData(src, dst, opIdx, size int) {
+	for _, n := range packetize(size, r.p.FlitBytes) {
+		f := &cxlFlit{opIdx: opIdx, data: n, size: size, src: src, dst: dst}
+		f.wire = n + cxlFlitOverhead // per-flit framing (CRC, sequence)
+		r.nicEnqueue(f)
+	}
+}
+
+func (r *cxlRun) nicEnqueue(f *cxlFlit) {
+	r.nicQ[f.src] = append(r.nicQ[f.src], f)
+	r.nicPump(f.src)
+}
+
+// nicPump serializes flits while credits remain.
+func (r *cxlRun) nicPump(src int) {
+	if r.nicBusy[src] || len(r.nicQ[src]) == 0 {
+		return
+	}
+	if r.credits[src] == 0 {
+		r.stalls++
+		return // resumed by credit return
+	}
+	r.nicBusy[src] = true
+	r.credits[src]--
+	f := r.nicQ[src][0]
+	r.nicQ[src] = r.nicQ[src][1:]
+	tx := sim.TransmissionTime(f.wire, r.cfg.Bandwidth)
+	r.eng.After(tx, func() {
+		r.nicBusy[src] = false
+		r.nicPump(src)
+	})
+	r.eng.After(tx+r.cfg.linkLat(), func() { r.ingressArrive(f) })
+}
+
+func (r *cxlRun) ingressArrive(f *cxlFlit) {
+	ing := r.ingress[f.src]
+	ing.q = append(ing.q, f)
+	ing.bytes += int64(f.wire)
+	r.tryForward(f.dst)
+}
+
+// tryForward advances ingress heads into free egresses. A flit leaving its
+// ingress queue returns one credit to the sender (after one propagation).
+func (r *cxlRun) tryForward(d int) {
+	if r.egBusy[d] {
+		return
+	}
+	n := r.cfg.Nodes
+	for k := 0; k < n; k++ {
+		i := (r.rr[d] + k) % n
+		ing := r.ingress[i]
+		if len(ing.q) == 0 || ing.q[0].dst != d {
+			continue
+		}
+		r.rr[d] = (i + 1) % n
+		f := ing.q[0]
+		ing.q = ing.q[1:]
+		ing.bytes -= int64(f.wire)
+		// Credit return to sender i.
+		r.eng.After(r.cfg.Prop, func() {
+			r.credits[i]++
+			r.nicPump(i)
+		})
+		r.egBusy[d] = true
+		tx := sim.TransmissionTime(f.wire, r.cfg.Bandwidth)
+		// Egress occupied for serialization only; the switch hop latency is
+		// pipelined.
+		r.eng.After(tx, func() {
+			r.egBusy[d] = false
+			r.eng.After(r.p.HopLatency+r.cfg.linkLat(), func() { r.deliver(f) })
+			r.tryForwardAll()
+		})
+		return
+	}
+}
+
+func (r *cxlRun) tryForwardAll() {
+	for d := 0; d < r.cfg.Nodes; d++ {
+		r.tryForward(d)
+	}
+}
+
+func (r *cxlRun) deliver(f *cxlFlit) {
+	r.eng.After(r.p.StackLatency, func() {
+		if f.isReq {
+			r.enqueueData(f.dst, f.src, f.opIdx, f.size)
+			return
+		}
+		r.track.delivered(f.opIdx, f.data)
+	})
+}

@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// PFabric models pFabric: senders transmit at line rate, switches keep
+// very small per-port buffers ordered by remaining flow size (SRPT) and
+// drop the lowest-priority packet on overflow; dropped packets are
+// recovered by a short timeout. It runs over the DCTCP-class stack (the
+// paper runs pFabric "on top of DCTCP"). With uniform single-packet
+// messages its SRPT degenerates to FIFO, which is why the paper finds it
+// tracks DCTCP on the 64 B microbenchmark.
+type PFabric struct {
+	// BufferBytes is the per-egress buffer (default 24 KB, pFabric's
+	// shallow-buffer regime).
+	BufferBytes int64
+	// RTO is the retransmission timeout, default 45 us (the pFabric
+	// paper's setting; smaller values cause spurious retransmissions for
+	// multi-packet messages whose ACKs are delayed by their own queueing).
+	RTO sim.Time
+	// Window bounds a sender pair's packets in flight (default 12,
+	// approximately one BDP of line-rate probing).
+	Window int
+}
+
+// Name implements Protocol.
+func (p *PFabric) Name() string { return "pFabric" }
+
+// WireBytes implements Protocol.
+func (p *PFabric) WireBytes(n int) int {
+	total := 0
+	for _, k := range packetize(n, 1500) {
+		total += transport.WireBytes(transport.StackTCP, k)
+	}
+	return total
+}
+
+// ReqWireBytes implements Protocol.
+func (p *PFabric) ReqWireBytes() int { return transport.WireBytes(transport.StackTCP, 8) }
+
+func (p *PFabric) defaults() {
+	if p.BufferBytes == 0 {
+		p.BufferBytes = 24 << 10
+	}
+	if p.RTO == 0 {
+		p.RTO = 45 * sim.Microsecond
+	}
+	if p.Window == 0 {
+		p.Window = 12
+	}
+}
+
+type pfPkt struct {
+	opIdx    int
+	data     int
+	isReq    bool
+	size     int // total op size: the SRPT priority (lower = better)
+	remain   int // remaining at send time
+	acked    bool
+	credited bool // delivered-and-counted once (guards RTO duplicates)
+	conn     *pfConn
+	wire     int
+}
+
+type pfConn struct {
+	src, dst int
+	inflight int
+	q        []*pfPkt
+}
+
+// pfEgress is an explicit priority-queue egress port.
+type pfEgress struct {
+	q       []*pfPkt
+	bytes   int64
+	serving bool
+}
+
+type pfabricRun struct {
+	p     *PFabric
+	cfg   Config
+	eng   *sim.Engine
+	up    []*pipe
+	eg    []*pfEgress
+	conns map[[2]int]*pfConn
+	track *tracker
+	drops uint64
+}
+
+// Run implements Protocol.
+func (p *PFabric) Run(cfg Config, ops []workload.Op) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p.defaults()
+	eng := sim.NewEngine()
+	r := &pfabricRun{p: p, cfg: cfg, eng: eng,
+		conns: make(map[[2]int]*pfConn),
+		track: newTracker(eng, p.Name(), ops)}
+	r.up = make([]*pipe, cfg.Nodes)
+	r.eg = make([]*pfEgress, cfg.Nodes)
+	for i := range r.up {
+		r.up[i] = newPipe(eng, cfg.Bandwidth, cfg.linkLat())
+		r.eg[i] = &pfEgress{}
+	}
+	for _, op := range ops {
+		op := op
+		eng.At(op.Arrival, func() { r.arrive(op) })
+	}
+	eng.Run()
+	if r.track.res.Completed != len(ops) {
+		return nil, fmt.Errorf("pfabric run: %d of %d ops completed", r.track.res.Completed, len(ops))
+	}
+	return r.track.finish(), nil
+}
+
+func (r *pfabricRun) conn(src, dst int) *pfConn {
+	key := [2]int{src, dst}
+	c := r.conns[key]
+	if c == nil {
+		c = &pfConn{src: src, dst: dst}
+		r.conns[key] = c
+	}
+	return c
+}
+
+func (r *pfabricRun) arrive(op workload.Op) {
+	r.eng.After(transport.TCPStackLatency, func() {
+		if op.Read {
+			c := r.conn(op.Src, op.Dst)
+			pkt := &pfPkt{opIdx: op.Index, isReq: true, size: op.Size, remain: 8, conn: c}
+			pkt.wire = transport.WireBytes(transport.StackTCP, 8)
+			c.q = append(c.q, pkt)
+			r.pump(c)
+			return
+		}
+		r.enqueueData(op.Src, op.Dst, op.Index, op.Size)
+	})
+}
+
+func (r *pfabricRun) enqueueData(src, dst, opIdx, size int) {
+	c := r.conn(src, dst)
+	remain := size
+	for _, n := range packetize(size, r.cfg.MTU) {
+		pkt := &pfPkt{opIdx: opIdx, data: n, size: size, remain: remain, conn: c}
+		pkt.wire = transport.WireBytes(transport.StackTCP, n)
+		remain -= n
+		c.q = append(c.q, pkt)
+	}
+	r.pump(c)
+}
+
+func (r *pfabricRun) pump(c *pfConn) {
+	for len(c.q) > 0 && c.inflight < r.p.Window {
+		pkt := c.q[0]
+		c.q = c.q[1:]
+		c.inflight++
+		r.sendPkt(pkt)
+	}
+}
+
+func (r *pfabricRun) sendPkt(pkt *pfPkt) {
+	c := pkt.conn
+	r.up[c.src].send(pkt.wire, func() {
+		r.eng.After(transport.L2ForwardingLatency, func() { r.egEnqueue(r.eg[c.dst], c.dst, pkt) })
+	})
+	r.eng.After(r.p.RTO, func() {
+		if pkt.acked {
+			return
+		}
+		c.inflight--
+		if c.inflight < 0 {
+			c.inflight = 0
+		}
+		c.q = append([]*pfPkt{pkt}, c.q...)
+		r.pump(c)
+	})
+}
+
+// egEnqueue inserts by SRPT priority; on overflow the lowest-priority
+// (largest remaining) packet is dropped.
+func (r *pfabricRun) egEnqueue(eg *pfEgress, port int, pkt *pfPkt) {
+	eg.q = append(eg.q, pkt)
+	eg.bytes += int64(pkt.wire)
+	sort.SliceStable(eg.q, func(i, j int) bool { return eg.q[i].remain < eg.q[j].remain })
+	for eg.bytes > r.p.BufferBytes && len(eg.q) > 0 {
+		victim := eg.q[len(eg.q)-1]
+		eg.q = eg.q[:len(eg.q)-1]
+		eg.bytes -= int64(victim.wire)
+		r.drops++ // victim recovers via its sender's RTO
+	}
+	r.egServe(eg, port)
+}
+
+func (r *pfabricRun) egServe(eg *pfEgress, port int) {
+	if eg.serving || len(eg.q) == 0 {
+		return
+	}
+	eg.serving = true
+	pkt := eg.q[0]
+	eg.q = eg.q[1:]
+	eg.bytes -= int64(pkt.wire)
+	tx := sim.TransmissionTime(pkt.wire, r.cfg.Bandwidth)
+	r.eng.After(tx, func() {
+		eg.serving = false
+		r.eng.After(r.cfg.linkLat(), func() { r.deliver(pkt) })
+		r.egServe(eg, port)
+	})
+}
+
+func (r *pfabricRun) deliver(pkt *pfPkt) {
+	c := pkt.conn
+	r.eng.After(2*r.cfg.linkLat()+transport.L2ForwardingLatency, func() {
+		if pkt.acked {
+			return
+		}
+		pkt.acked = true
+		c.inflight--
+		if c.inflight < 0 {
+			c.inflight = 0
+		}
+		r.pump(c)
+	})
+	r.eng.After(transport.TCPStackLatency, func() {
+		if pkt.credited {
+			return // duplicate of a retransmitted packet
+		}
+		pkt.credited = true
+		if pkt.isReq {
+			r.enqueueData(c.dst, c.src, pkt.opIdx, pkt.size)
+			return
+		}
+		r.track.delivered(pkt.opIdx, pkt.data)
+	})
+}

@@ -1,0 +1,176 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockConstructors(t *testing.T) {
+	d := DataBlock([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if !d.IsData() || d.IsControl() || d.IsIdle() || d.IsMemory() {
+		t.Fatal("data block misclassified")
+	}
+	s := StartBlock([]byte{0x55, 0x55, 0x55, 0x55, 0x55, 0x55, 0xd5})
+	if !s.IsControl() || s.Type() != BTStart {
+		t.Fatal("start block misclassified")
+	}
+	e := IdleBlock()
+	if !e.IsIdle() {
+		t.Fatal("idle block misclassified")
+	}
+	for _, bt := range []BlockType{BTMemStart, BTMemTerm, BTMemSingle, BTNotify, BTGrant} {
+		b := ControlBlock(bt, []byte{0xaa})
+		if !b.IsMemory() {
+			t.Errorf("%v not classified as memory", b)
+		}
+		if IsStandardType(bt) {
+			t.Errorf("%#x classified standard", bt)
+		}
+	}
+}
+
+func TestEDMTypesAreUnusedCodePoints(t *testing.T) {
+	std := map[BlockType]bool{BTIdle: true, BTStart: true}
+	for i := 0; i < 8; i++ {
+		std[TermType(i)] = true
+	}
+	for _, bt := range []BlockType{BTMemStart, BTMemTerm, BTMemSingle, BTNotify, BTGrant} {
+		if std[bt] {
+			t.Errorf("EDM type %#x collides with a standard type", bt)
+		}
+	}
+	// All five EDM types must be distinct.
+	seen := map[BlockType]bool{}
+	for _, bt := range []BlockType{BTMemStart, BTMemTerm, BTMemSingle, BTNotify, BTGrant} {
+		if seen[bt] {
+			t.Errorf("duplicate EDM type %#x", bt)
+		}
+		seen[bt] = true
+	}
+}
+
+func TestTermTypeRoundTrip(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		bt := TermType(n)
+		got, ok := TermBytes(bt)
+		if !ok || got != n {
+			t.Errorf("TermBytes(TermType(%d)) = %d,%v", n, got, ok)
+		}
+	}
+	if _, ok := TermBytes(BTStart); ok {
+		t.Error("BTStart classified as terminate")
+	}
+}
+
+func TestTermTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TermType(8) did not panic")
+		}
+	}()
+	TermType(8)
+}
+
+func TestControlPayloadTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("8-byte control payload did not panic")
+		}
+	}()
+	ControlBlock(BTIdle, make([]byte, 8))
+}
+
+func TestBlockString(t *testing.T) {
+	cases := []struct {
+		b    Block
+		want string
+	}{
+		{IdleBlock(), "/E/"},
+		{StartBlock(nil), "/S/"},
+		{ControlBlock(BTTerm3, nil), "/T3/"},
+		{ControlBlock(BTMemStart, nil), "/MS/"},
+		{ControlBlock(BTMemTerm, nil), "/MT/"},
+		{ControlBlock(BTMemSingle, nil), "/MST/"},
+		{ControlBlock(BTNotify, nil), "/N/"},
+		{ControlBlock(BTGrant, nil), "/G/"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestScramblerRoundTrip(t *testing.T) {
+	s := NewScrambler(^uint64(0))
+	d := NewDescrambler(^uint64(0))
+	blocks := []Block{
+		DataBlock([]byte{0, 0, 0, 0, 0, 0, 0, 0}),
+		DataBlock([]byte{1, 2, 3, 4, 5, 6, 7, 8}),
+		IdleBlock(),
+		ControlBlock(BTMemStart, []byte{9, 8, 7}),
+	}
+	for _, in := range blocks {
+		sc := s.ScrambleBlock(in)
+		out := d.DescrambleBlock(sc)
+		if out != in {
+			t.Fatalf("round trip failed: in=%v out=%v", in, out)
+		}
+	}
+}
+
+func TestScramblerWhitens(t *testing.T) {
+	// 8 idle blocks (all-zero payloads) must not come out all-zero: the
+	// scrambler exists precisely to give the line transitions during IFG.
+	s := NewScrambler(^uint64(0))
+	nonZero := false
+	for i := 0; i < 8; i++ {
+		b := s.ScrambleBlock(IdleBlock())
+		for _, x := range b.Payload[1:] { // skip type byte
+			if x != 0 {
+				nonZero = true
+			}
+		}
+	}
+	if !nonZero {
+		t.Fatal("scrambler produced all-zero output for idle stream")
+	}
+}
+
+func TestDescramblerSelfSynchronizes(t *testing.T) {
+	// Seed the descrambler differently from the scrambler: after 58 bits
+	// (8 bytes covers it) the output must match the plaintext again.
+	s := NewScrambler(^uint64(0))
+	d := NewDescrambler(0x123456789)
+	var in []Block
+	for i := 0; i < 4; i++ {
+		in = append(in, DataBlock([]byte{byte(i), 1, 2, 3, 4, 5, 6, 7}))
+	}
+	var out []Block
+	for _, b := range in {
+		out = append(out, d.DescrambleBlock(s.ScrambleBlock(b)))
+	}
+	// First block may be corrupted; all subsequent blocks must be exact.
+	for i := 1; i < len(in); i++ {
+		if out[i] != in[i] {
+			t.Fatalf("block %d not recovered after sync window", i)
+		}
+	}
+}
+
+func TestScramblerProperty(t *testing.T) {
+	f := func(payloads [][8]byte, seed uint64) bool {
+		s := NewScrambler(seed)
+		d := NewDescrambler(seed)
+		for _, p := range payloads {
+			in := DataBlock(p[:])
+			if d.DescrambleBlock(s.ScrambleBlock(in)) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

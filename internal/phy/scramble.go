@@ -1,0 +1,69 @@
+package phy
+
+// Scrambler is the x^58 + x^39 + 1 self-synchronizing scrambler of IEEE
+// 802.3 clause 49. It whitens the 64-bit block payload (the 2-bit sync
+// header is never scrambled) so the line has enough transitions for clock
+// recovery. Because it is self-synchronizing, a Descrambler recovers the
+// plaintext after at most 58 bits regardless of its initial state; EDM's
+// stack sits between the encoder and the scrambler, so memory blocks are
+// scrambled exactly like ordinary traffic.
+type Scrambler struct {
+	state uint64 // 58-bit shift register
+}
+
+// NewScrambler returns a scrambler seeded with the given state (only the low
+// 58 bits are used). Hardware typically seeds with all ones.
+func NewScrambler(seed uint64) *Scrambler {
+	return &Scrambler{state: seed & ((1 << 58) - 1)}
+}
+
+// ScrambleBlock scrambles the payload of b in place and returns it.
+func (s *Scrambler) ScrambleBlock(b Block) Block {
+	for i := range b.Payload {
+		b.Payload[i] = s.scrambleByte(b.Payload[i])
+	}
+	return b
+}
+
+func (s *Scrambler) scrambleByte(in byte) byte {
+	var out byte
+	for bit := 0; bit < 8; bit++ {
+		d := (in >> uint(bit)) & 1
+		fb := byte((s.state>>38)&1) ^ byte((s.state>>57)&1) // taps x^39, x^58
+		sc := d ^ fb
+		s.state = ((s.state << 1) | uint64(sc)) & ((1 << 58) - 1)
+		out |= sc << uint(bit)
+	}
+	return out
+}
+
+// Descrambler reverses Scrambler. It is self-synchronizing: its state is the
+// last 58 scrambled bits seen, so it recovers even if seeded differently.
+type Descrambler struct {
+	state uint64
+}
+
+// NewDescrambler returns a descrambler seeded with the given state.
+func NewDescrambler(seed uint64) *Descrambler {
+	return &Descrambler{state: seed & ((1 << 58) - 1)}
+}
+
+// DescrambleBlock descrambles the payload of b in place and returns it.
+func (d *Descrambler) DescrambleBlock(b Block) Block {
+	for i := range b.Payload {
+		b.Payload[i] = d.descrambleByte(b.Payload[i])
+	}
+	return b
+}
+
+func (d *Descrambler) descrambleByte(in byte) byte {
+	var out byte
+	for bit := 0; bit < 8; bit++ {
+		sc := (in >> uint(bit)) & 1
+		fb := byte((d.state>>38)&1) ^ byte((d.state>>57)&1)
+		dec := sc ^ fb
+		d.state = ((d.state << 1) | uint64(sc)) & ((1 << 58) - 1)
+		out |= dec << uint(bit)
+	}
+	return out
+}

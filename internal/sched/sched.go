@@ -1,0 +1,420 @@
+// Package sched implements EDM's centralized in-network memory-traffic
+// scheduler (§3.1): a priority-augmented Parallel Iterative Matching (PIM)
+// engine that dynamically reserves bandwidth between compute and memory
+// nodes by admitting at most one sender per receiver at a time, creating
+// virtual circuits with zero switch queuing while keeping the matching
+// maximal (near-optimal bandwidth utilization).
+//
+// The scheduler is shared by the block-level testbed fabric (internal/edm)
+// and the large-scale message-level simulator (internal/netsim).
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hwsim"
+	"repro/internal/sim"
+)
+
+// Policy selects the priority assignment for conflict resolution (§3.1.1
+// property 4).
+type Policy int
+
+const (
+	// SRPT prioritizes by remaining bytes; optimal for heavy-tailed
+	// workloads and the paper's default for the §4.3 evaluation. To
+	// preserve in-order delivery it is applied only across messages of
+	// different source-destination pairs; within a pair messages are
+	// served in notification order (§3.1.1 property 5). It is the zero
+	// value so that zero-configured schedulers match the paper.
+	SRPT Policy = iota
+	// FCFS prioritizes by notification time; optimal for light-tailed
+	// workloads.
+	FCFS
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == SRPT {
+		return "SRPT"
+	}
+	return "FCFS"
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Ports is N, the number of switch ports.
+	Ports int
+	// ChunkBytes is c, the maximum bytes granted at once. The paper sets
+	// it so the chunk's transmission time covers one maximal matching
+	// (§3.1.3): 128 B minimum for a 512x100G switch, 256 B in simulations.
+	ChunkBytes int64
+	// LinkBandwidth is B, used for the l/B busy-release optimization.
+	LinkBandwidth sim.Gbps
+	// ClockPeriod is the scheduler pipeline clock (333 ps at the 3 GHz
+	// ASIC synthesis; 2.56 ns on the 25 GbE FPGA prototype).
+	ClockPeriod sim.Time
+	// Policy selects FCFS or SRPT.
+	Policy Policy
+	// MaxActivePerPair is X, the per source-destination notification bound
+	// (paper finds X=3 best). Notify returns ErrPairLimit beyond it.
+	MaxActivePerPair int
+	// MaxIterations caps PIM iterations per matching round; 0 means iterate
+	// to a maximal matching (the paper's behaviour, ~log N iterations on
+	// average). Values >0 are used by the ablation benchmarks.
+	MaxIterations int
+	// ChunkTime, if set, overrides the busy-release duration for a granted
+	// chunk of l bytes. Callers whose wire format adds framing (e.g. EDM's
+	// 66-bit blocks) use it so grants are paced at the true line occupancy;
+	// the default is TransmissionTime(l, LinkBandwidth).
+	ChunkTime func(l int64) sim.Time
+}
+
+// DefaultConfig mirrors the paper's simulation parameters (§4.3).
+func DefaultConfig(ports int) Config {
+	return Config{
+		Ports:            ports,
+		ChunkBytes:       256,
+		LinkBandwidth:    100,
+		ClockPeriod:      333 * sim.Picosecond,
+		Policy:           SRPT,
+		MaxActivePerPair: 3,
+	}
+}
+
+// IterationCycles is the pipeline depth of one PIM iteration: one cycle of
+// parallel notification-queue peeks, one cycle of priority-encoder
+// arbitration per source, one cycle to commit busy bits (§3.1.2).
+const IterationCycles = 3
+
+// MsgRef identifies a message awaiting scheduling.
+type MsgRef struct {
+	// Src and Dst are switch ports: the sender and receiver of the data
+	// message (for an RRES, Src is the memory node).
+	Src, Dst int
+	// ID distinguishes messages between the same pair (8 bits on the wire).
+	ID uint64
+	// Size is the total bytes to move.
+	Size int64
+	// Tag is opaque caller state, e.g. the buffered RREQ that the switch
+	// forwards to the memory node as the implicit first grant.
+	Tag any
+}
+
+// Grant is one scheduling decision: permission to send Chunk bytes of the
+// referenced message starting at Offset.
+type Grant struct {
+	MsgRef
+	Offset int64
+	Chunk  int64
+	// First marks the message's first grant (for RRES messages this is the
+	// moment the buffered RREQ is released toward the memory node).
+	First bool
+	// Final marks the grant that exhausts the message.
+	Final bool
+	// Iteration records which PIM iteration of the round produced the
+	// grant (1-based), for latency accounting and tests.
+	Iteration int
+}
+
+// Scheduler errors.
+var (
+	ErrPairLimit = errors.New("sched: per-pair active notification limit exceeded")
+	ErrBadRef    = errors.New("sched: invalid message reference")
+	ErrDupID     = errors.New("sched: duplicate message id for pair")
+)
+
+type message struct {
+	MsgRef
+	remaining  int64
+	granted    int64
+	notifyTime sim.Time
+	enqueued   bool // currently the head of its pair FIFO, present in queues[dst]
+}
+
+type pairKey struct{ src, dst int }
+
+// Scheduler is the central PIM scheduler. It is event-driven: notifications
+// and port releases trigger matching rounds on the provided engine. Not
+// safe for concurrent use (the engine is single-threaded).
+type Scheduler struct {
+	cfg    Config
+	engine *sim.Engine
+
+	// OnGrant delivers each grant at its issue time. The caller models
+	// grant propagation to the sender.
+	OnGrant func(Grant)
+
+	queues    []*hwsim.OrderedList[*message] // per destination port
+	srcArrays []*hwsim.SortedArray           // per source port
+	busySrc   []bool
+	busyDst   []bool
+	pairs     map[pairKey][]*message
+
+	roundPending bool
+
+	// statistics
+	grantsIssued   uint64
+	notifies       uint64
+	totalIters     uint64
+	rounds         uint64
+	maxQueueLen    int
+	activeMessages int
+}
+
+// New returns a scheduler bound to the engine.
+func New(engine *sim.Engine, cfg Config) *Scheduler {
+	if cfg.Ports <= 0 || cfg.ChunkBytes <= 0 || cfg.LinkBandwidth <= 0 || cfg.ClockPeriod <= 0 {
+		panic("sched: invalid config")
+	}
+	if cfg.MaxActivePerPair <= 0 {
+		cfg.MaxActivePerPair = 3
+	}
+	s := &Scheduler{
+		cfg:       cfg,
+		engine:    engine,
+		queues:    make([]*hwsim.OrderedList[*message], cfg.Ports),
+		srcArrays: make([]*hwsim.SortedArray, cfg.Ports),
+		busySrc:   make([]bool, cfg.Ports),
+		busyDst:   make([]bool, cfg.Ports),
+		pairs:     make(map[pairKey][]*message),
+	}
+	for i := range s.queues {
+		s.queues[i] = &hwsim.OrderedList[*message]{}
+		s.srcArrays[i] = hwsim.NewSortedArray(cfg.Ports)
+	}
+	return s
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Stats reports grants issued, notifications accepted, matching rounds run
+// and total PIM iterations across them.
+func (s *Scheduler) Stats() (grants, notifies, rounds, iters uint64) {
+	return s.grantsIssued, s.notifies, s.rounds, s.totalIters
+}
+
+// Active reports messages currently known to the scheduler.
+func (s *Scheduler) Active() int { return s.activeMessages }
+
+// QueueLen reports the notification-queue length for destination port d.
+func (s *Scheduler) QueueLen(d int) int { return s.queues[d].Len() }
+
+// MatchingLatency reports the average time to form one maximal matching:
+// 3*log2(N) cycles (§3.1.3).
+func (s *Scheduler) MatchingLatency() sim.Time {
+	return sim.Time(IterationCycles*log2ceil(s.cfg.Ports)) * s.cfg.ClockPeriod
+}
+
+func log2ceil(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}
+
+// priority returns the ordering key for m (lower = higher priority).
+func (s *Scheduler) priority(m *message) int64 {
+	if s.cfg.Policy == SRPT {
+		return m.remaining
+	}
+	return int64(m.notifyTime)
+}
+
+// Notify registers a demand notification: an explicit /N/ for a WREQ, or an
+// intercepted RREQ/RMWREQ standing in for its RRES. It returns ErrPairLimit
+// when the sender exceeded its X active notifications for this pair.
+func (s *Scheduler) Notify(ref MsgRef) error {
+	if ref.Src < 0 || ref.Src >= s.cfg.Ports || ref.Dst < 0 || ref.Dst >= s.cfg.Ports {
+		return fmt.Errorf("%w: src=%d dst=%d", ErrBadRef, ref.Src, ref.Dst)
+	}
+	if ref.Src == ref.Dst {
+		return fmt.Errorf("%w: src == dst == %d", ErrBadRef, ref.Src)
+	}
+	if ref.Size <= 0 {
+		return fmt.Errorf("%w: size=%d", ErrBadRef, ref.Size)
+	}
+	key := pairKey{ref.Src, ref.Dst}
+	fifo := s.pairs[key]
+	if len(fifo) >= s.cfg.MaxActivePerPair {
+		return fmt.Errorf("%w: %d active for %d->%d", ErrPairLimit, len(fifo), ref.Src, ref.Dst)
+	}
+	for _, m := range fifo {
+		if m.ID == ref.ID {
+			return fmt.Errorf("%w: id=%d pair %d->%d", ErrDupID, ref.ID, ref.Src, ref.Dst)
+		}
+	}
+	m := &message{MsgRef: ref, remaining: ref.Size, notifyTime: s.engine.Now()}
+	s.pairs[key] = append(fifo, m)
+	s.activeMessages++
+	s.notifies++
+	if len(s.pairs[key]) == 1 {
+		s.enqueueHead(m)
+	}
+	s.kick()
+	return nil
+}
+
+// enqueueHead makes m (the head of its pair FIFO) visible to the matching.
+// Only pair heads are eligible, which restricts SRPT to inter-pair
+// competition and guarantees in-order delivery within a pair.
+func (s *Scheduler) enqueueHead(m *message) {
+	m.enqueued = true
+	p := s.priority(m)
+	s.queues[m.Dst].Insert(p, m)
+	s.srcArrays[m.Src].Update(m.Dst, s.bestKeyFor(m.Src, m.Dst))
+	if l := s.queues[m.Dst].Len(); l > s.maxQueueLen {
+		s.maxQueueLen = l
+	}
+}
+
+// bestKeyFor returns the priority of the best enqueued message from src to
+// dst, for maintaining the per-source sorted arrays.
+func (s *Scheduler) bestKeyFor(src, dst int) int64 {
+	e, ok := s.queues[dst].PeekMinWhere(func(m *message) bool { return m.Src == src })
+	if !ok {
+		return 1 << 62
+	}
+	return e.Key
+}
+
+// kick coalesces round requests: at most one matching round is pending at a
+// time, scheduled one iteration-pipeline delay ahead.
+func (s *Scheduler) kick() {
+	if s.roundPending {
+		return
+	}
+	s.roundPending = true
+	s.engine.After(0, s.round)
+}
+
+// round runs PIM iterations until the matching is maximal (or the
+// configured iteration cap), issuing grants with the pipeline's cycle
+// latency applied.
+func (s *Scheduler) round() {
+	s.roundPending = false
+	s.rounds++
+	iter := 0
+	for {
+		if s.cfg.MaxIterations > 0 && iter >= s.cfg.MaxIterations {
+			return
+		}
+		// Cycle 1: every free destination port peeks the highest-priority
+		// eligible message in its notification queue, in parallel.
+		reqBySrc := make([][]*message, s.cfg.Ports)
+		any := false
+		for d := 0; d < s.cfg.Ports; d++ {
+			if s.busyDst[d] || s.queues[d].Len() == 0 {
+				continue
+			}
+			e, ok := s.queues[d].PeekMinWhere(func(m *message) bool { return !s.busySrc[m.Src] })
+			if !ok {
+				continue
+			}
+			m := e.Value
+			reqBySrc[m.Src] = append(reqBySrc[m.Src], m)
+			any = true
+		}
+		if !any {
+			return
+		}
+		iter++
+		s.totalIters++
+		// Cycle 2: every source port with requests arbitrates with its
+		// priority encoder over the sorted destination array.
+		for src := 0; src < s.cfg.Ports; src++ {
+			reqs := reqBySrc[src]
+			if len(reqs) == 0 {
+				continue
+			}
+			winner := reqs[0]
+			if len(reqs) > 1 {
+				set := make(map[int]bool, len(reqs))
+				byDst := make(map[int]*message, len(reqs))
+				for _, m := range reqs {
+					set[m.Dst] = true
+					byDst[m.Dst] = m
+				}
+				if d, ok := s.srcArrays[src].Arbitrate(set); ok {
+					winner = byDst[d]
+				}
+			}
+			// Cycle 3: commit the match and issue the grant.
+			s.issue(winner, iter)
+		}
+	}
+}
+
+// issue grants the next chunk of m and marks its ports busy until the chunk
+// would have been serialized (the l/B early-release optimization of
+// §3.1.1 step 7).
+func (s *Scheduler) issue(m *message, iter int) {
+	l := s.cfg.ChunkBytes
+	if m.remaining < l {
+		l = m.remaining
+	}
+	g := Grant{
+		MsgRef:    m.MsgRef,
+		Offset:    m.granted,
+		Chunk:     l,
+		First:     m.granted == 0,
+		Final:     m.remaining == l,
+		Iteration: iter,
+	}
+	m.granted += l
+	m.remaining -= l
+	s.busySrc[m.Src] = true
+	s.busyDst[m.Dst] = true
+	s.grantsIssued++
+
+	issueDelay := sim.Time(IterationCycles*iter) * s.cfg.ClockPeriod
+	src, dst := m.Src, m.Dst
+	if s.OnGrant != nil {
+		gg := g
+		s.engine.After(issueDelay, func() { s.OnGrant(gg) })
+	}
+	chunkTime := sim.TransmissionTime(int(l), s.cfg.LinkBandwidth)
+	if s.cfg.ChunkTime != nil {
+		chunkTime = s.cfg.ChunkTime(l)
+	}
+	release := issueDelay + chunkTime
+	s.engine.After(release, func() {
+		s.busySrc[src] = false
+		s.busyDst[dst] = false
+		s.kick()
+	})
+
+	if g.Final {
+		s.retire(m)
+	} else if s.cfg.Policy == SRPT {
+		// Remaining bytes changed: reposition in the destination queue and
+		// refresh the source array (a delete+insert pipeline in hardware).
+		s.queues[m.Dst].UpdateKey(func(x *message) bool { return x == m }, s.priority(m))
+		s.srcArrays[m.Src].Update(m.Dst, s.bestKeyFor(m.Src, m.Dst))
+	}
+}
+
+// retire removes a fully granted message and promotes the next message of
+// its pair, if any.
+func (s *Scheduler) retire(m *message) {
+	s.queues[m.Dst].DeleteWhere(func(x *message) bool { return x == m })
+	m.enqueued = false
+	key := pairKey{m.Src, m.Dst}
+	fifo := s.pairs[key]
+	if len(fifo) == 0 || fifo[0] != m {
+		panic("sched: retired message is not its pair head")
+	}
+	fifo = fifo[1:]
+	s.activeMessages--
+	if len(fifo) == 0 {
+		delete(s.pairs, key)
+		s.srcArrays[m.Src].Remove(m.Dst)
+		return
+	}
+	s.pairs[key] = fifo
+	s.enqueueHead(fifo[0])
+}

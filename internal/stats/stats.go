@@ -1,0 +1,95 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, percentiles and normalized latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	P50  float64
+	P90  float64
+	P99  float64
+	Std  float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: mean,
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  Percentile(sorted, 0.50),
+		P90:  Percentile(sorted, 0.90),
+		P99:  Percentile(sorted, 0.99),
+		Std:  math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Ratios divides each observation by its paired baseline, for normalized
+// latency/MCT plots. Pairs with non-positive baselines are skipped.
+func Ratios(values, baselines []float64) []float64 {
+	n := len(values)
+	if len(baselines) < n {
+		n = len(baselines)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if baselines[i] > 0 {
+			out = append(out, values[i]/baselines[i])
+		}
+	}
+	return out
+}

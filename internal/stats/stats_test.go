@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %f", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := Percentile(sorted, 0.5); p != 5 {
+		t.Fatalf("P50 of {0,10} = %f", p)
+	}
+	if p := Percentile(sorted, 0); p != 0 {
+		t.Fatalf("P0 = %f", p)
+	}
+	if p := Percentile(sorted, 1); p != 10 {
+		t.Fatalf("P100 = %f", p)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{2, 6, 9}, []float64{1, 2, 0})
+	if len(r) != 2 || r[0] != 2 || r[1] != 3 {
+		t.Fatalf("ratios: %v", r)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			} else {
+				// Keep inputs in a latency-like range; quick generates
+				// values near ±MaxFloat64 whose sums overflow.
+				xs[i] = math.Mod(x, 1e12)
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,78 @@
+// Package trace serializes workload traces as line-oriented text so that
+// cmd/tracegen and cmd/edmsim can exchange them, mirroring the paper
+// artifact's trace-generator / simulator split (§A.5.2).
+//
+// Format: one op per line, '#' comments allowed:
+//
+//	<arrival_ps> <src> <dst> <size_bytes> <R|W>
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Write renders ops to w.
+func Write(w io.Writer, ops []workload.Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_ps src dst size_bytes R|W"); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		kind := 'W'
+		if op.Read {
+			kind = 'R'
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %c\n",
+			int64(op.Arrival), op.Src, op.Dst, op.Size, kind); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace, assigning sequential indices.
+func Read(r io.Reader) ([]workload.Op, error) {
+	var ops []workload.Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var arrival int64
+		var src, dst, size int
+		var kind string
+		if _, err := fmt.Sscanf(line, "%d %d %d %d %s", &arrival, &src, &dst, &size, &kind); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if arrival < 0 || src < 0 || dst < 0 || size <= 0 {
+			return nil, fmt.Errorf("trace: line %d: invalid fields", lineNo)
+		}
+		var read bool
+		switch kind {
+		case "R":
+			read = true
+		case "W":
+			read = false
+		default:
+			return nil, fmt.Errorf("trace: line %d: kind %q", lineNo, kind)
+		}
+		ops = append(ops, workload.Op{
+			Index: len(ops), Src: src, Dst: dst, Size: size,
+			Read: read, Arrival: sim.Time(arrival),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []workload.Op{
+		{Index: 0, Src: 1, Dst: 2, Size: 64, Read: true, Arrival: 0},
+		{Index: 1, Src: 3, Dst: 0, Size: 1500, Read: false, Arrival: 2560 * sim.Picosecond},
+		{Index: 2, Src: 0, Dst: 9, Size: 1 << 20, Read: true, Arrival: sim.Microsecond},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d ops", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n100 0 1 64 R\n# mid comment\n200 1 0 128 W\n"
+	ops, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || !ops[0].Read || ops[1].Read {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"abc 0 1 64 R",
+		"100 0 1 64 X",
+		"100 0 1 0 R",
+		"-1 0 1 64 R",
+		"100 0 1 R",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestGeneratedTraceRoundTrip(t *testing.T) {
+	ops, err := workload.Generate(workload.GenConfig{
+		Nodes: 8, Load: 0.5, Bandwidth: 100,
+		Sizes: workload.Memcached(), ReadFrac: 0.5, Count: 500, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		if out[i] != ops[i] {
+			t.Fatalf("op %d mismatch", i)
+		}
+	}
+}

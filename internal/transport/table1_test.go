@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func ns(f float64) sim.Time { return sim.Time(math.Round(f * 1000)) }
+
+func TestTable1TotalsMatchPaper(t *testing.T) {
+	cases := []struct {
+		stack             Stack
+		write             bool
+		stackTotal, total float64 // ns, from Table 1
+	}{
+		{StackTCP, false, 3587.68, 3779.68},
+		{StackTCP, true, 1793.84, 1889.84},
+		{StackRoCE, false, 1843.68, 2035.68},
+		{StackRoCE, true, 921.84, 1017.84},
+		{StackRawEthernet, false, 922.88, 1114.88},
+		{StackRawEthernet, true, 461.44, 557.44},
+		{StackEDM, false, 107.52, 299.52},
+		{StackEDM, true, 104.96, 296.96},
+	}
+	for _, c := range cases {
+		b := Table1(c.stack, c.write)
+		op := "read"
+		if c.write {
+			op = "write"
+		}
+		if got := b.StackTotal(); got != ns(c.stackTotal) {
+			t.Errorf("%v %s stack total = %v, want %.2fns", c.stack, op, got, c.stackTotal)
+		}
+		if got := b.Total(); got != ns(c.total) {
+			t.Errorf("%v %s total = %v, want %.2fns", c.stack, op, got, c.total)
+		}
+	}
+}
+
+func TestTable1Ratios(t *testing.T) {
+	// §4.2.1: EDM's read (write) latency is 3.7x (1.9x), 6.8x (3.4x) and
+	// 12.7x (6.4x) lower than raw Ethernet, RoCEv2 and TCP/IP.
+	edmR := float64(Table1(StackEDM, false).Total())
+	edmW := float64(Table1(StackEDM, true).Total())
+	checks := []struct {
+		stack Stack
+		write bool
+		want  float64
+	}{
+		{StackRawEthernet, false, 3.7},
+		{StackRawEthernet, true, 1.9},
+		{StackRoCE, false, 6.8},
+		{StackRoCE, true, 3.4},
+		{StackTCP, false, 12.7},
+		{StackTCP, true, 6.4},
+	}
+	for _, c := range checks {
+		base := edmR
+		if c.write {
+			base = edmW
+		}
+		ratio := float64(Table1(c.stack, c.write).Total()) / base
+		if math.Abs(ratio-c.want) > 0.1 {
+			t.Errorf("%v write=%v ratio = %.2f, want %.1f", c.stack, c.write, ratio, c.want)
+		}
+	}
+}
+
+func TestL2PipelineComposition(t *testing.T) {
+	if L2ForwardingLatency != 400*sim.Nanosecond {
+		t.Fatalf("L2 pipeline = %v, want 400ns", L2ForwardingLatency)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	// 8 B RREQ: EDM needs 3 blocks = 24.75 -> 25 B; raw Ethernet needs a
+	// full 84 B minimum wire frame; RoCE adds 60 B of headers on top.
+	if got := WireBytes(StackEDM, 8); got != 25 {
+		t.Errorf("EDM 8B = %d", got)
+	}
+	if got := WireBytes(StackRawEthernet, 8); got != 84 {
+		t.Errorf("raw 8B = %d", got)
+	}
+	if got := WireBytes(StackRoCE, 8); got != 8+60+18+8+12 {
+		t.Errorf("roce 8B = %d", got)
+	}
+	if got := WireBytes(StackTCP, 64); got != 64+40+18+8+12 {
+		t.Errorf("tcp 64B = %d", got)
+	}
+}
+
+func TestGoodputOrdering(t *testing.T) {
+	// For small messages EDM's goodput must dominate every MAC-based
+	// stack; the gap is the Figure 6 bandwidth argument.
+	for _, n := range []int{8, 16, 64, 100, 256} {
+		edm := Goodput(StackEDM, n)
+		for _, s := range []Stack{StackTCP, StackRoCE, StackRawEthernet} {
+			if g := Goodput(s, n); g >= edm {
+				t.Errorf("n=%d: %v goodput %.3f >= EDM %.3f", n, s, g, edm)
+			}
+		}
+	}
+	// EDM vs RoCE at the Figure 6 operating point (1 KB reads, 8 B RREQ,
+	// 100 B writes): EDM should deliver roughly 2-3x the request rate.
+	ratio := Goodput(StackEDM, 100) / Goodput(StackRoCE, 100)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("EDM/RoCE goodput ratio at 100B = %.2f", ratio)
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeDist samples message sizes in bytes.
+type SizeDist interface {
+	Sample(r *Rand) int
+	Mean() float64
+	Name() string
+}
+
+// Fixed is a degenerate distribution: every message is the same size
+// (Figure 8a uses Fixed(64)).
+type Fixed int
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*Rand) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%dB", int(f)) }
+
+// CDFPoint is one knot of a piecewise-linear CDF.
+type CDFPoint struct {
+	Size int     // message size in bytes
+	Frac float64 // P(X <= Size)
+}
+
+// CDF is a piecewise-linear message-size distribution, the format the
+// paper's trace generator consumes ("pre-existing CDF profiles of
+// disaggregated workloads", §A.5.2).
+type CDF struct {
+	name   string
+	points []CDFPoint
+}
+
+// NewCDF builds a distribution from knots. Knots must be strictly
+// increasing in size and non-decreasing in fraction, with the final
+// fraction equal to 1.
+func NewCDF(name string, points []CDFPoint) (*CDF, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("workload: empty CDF %q", name)
+	}
+	sorted := append([]CDFPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Size < sorted[j].Size })
+	prevFrac := 0.0
+	for i, p := range sorted {
+		if p.Size <= 0 {
+			return nil, fmt.Errorf("workload: CDF %q: size %d", name, p.Size)
+		}
+		if i > 0 && p.Size == sorted[i-1].Size {
+			return nil, fmt.Errorf("workload: CDF %q: duplicate size %d", name, p.Size)
+		}
+		if p.Frac < prevFrac || p.Frac > 1 {
+			return nil, fmt.Errorf("workload: CDF %q: fraction %f out of order", name, p.Frac)
+		}
+		prevFrac = p.Frac
+	}
+	if sorted[len(sorted)-1].Frac != 1 {
+		return nil, fmt.Errorf("workload: CDF %q: last fraction %f != 1", name, sorted[len(sorted)-1].Frac)
+	}
+	return &CDF{name: name, points: sorted}, nil
+}
+
+// MustCDF is NewCDF that panics on error; for the built-in profiles.
+func MustCDF(name string, points []CDFPoint) *CDF {
+	c, err := NewCDF(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements SizeDist.
+func (c *CDF) Name() string { return c.name }
+
+// Sample draws a size by inverse-transform sampling with linear
+// interpolation between knots.
+func (c *CDF) Sample(r *Rand) int {
+	u := r.Float64()
+	pts := c.points
+	// First knot at or above u.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Frac >= u })
+	if i == 0 {
+		// Interpolate from size 1 at fraction 0.
+		return interp(1, 0, pts[0].Size, pts[0].Frac, u)
+	}
+	if i == len(pts) {
+		return pts[len(pts)-1].Size
+	}
+	return interp(pts[i-1].Size, pts[i-1].Frac, pts[i].Size, pts[i].Frac, u)
+}
+
+func interp(s0 int, f0 float64, s1 int, f1 float64, u float64) int {
+	if f1 <= f0 {
+		return s1
+	}
+	t := (u - f0) / (f1 - f0)
+	v := float64(s0) + t*float64(s1-s0)
+	if v < 1 {
+		v = 1
+	}
+	return int(v + 0.5)
+}
+
+// Mean integrates the piecewise-linear CDF analytically.
+func (c *CDF) Mean() float64 {
+	mean := 0.0
+	prevS, prevF := 1.0, 0.0
+	for _, p := range c.points {
+		df := p.Frac - prevF
+		mean += df * (prevS + float64(p.Size)) / 2
+		prevS, prevF = float64(p.Size), p.Frac
+	}
+	return mean
+}
+
+// Percentile reports the size at quantile q in [0, 1].
+func (c *CDF) Percentile(q float64) int {
+	pts := c.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Frac >= q })
+	if i == 0 {
+		return pts[0].Size
+	}
+	if i == len(pts) {
+		return pts[len(pts)-1].Size
+	}
+	return interp(pts[i-1].Size, pts[i-1].Frac, pts[i].Size, pts[i].Frac, q)
+}
+
+// Application trace profiles for Figure 8b. The paper derives its traces
+// from the public Gao et al. (OSDI'16) and Shoal disaggregation traces by
+// fitting message-size CDFs per application; the originals are not
+// redistributable, so these knots are synthetic approximations that
+// preserve the properties the experiment depends on: a mixture of small
+// control messages and a heavy tail that differs per application
+// (Memcached shortest tail, Hadoop/Spark sort the heaviest).
+
+// The tails top out at a few hundred KB: disaggregated-memory messages are
+// page-granularity transfers (the Gao et al. traces the paper draws on are
+// remote-paging workloads), not the multi-MB shuffles of the underlying
+// application's storage traffic.
+
+// Hadoop is the Hadoop (Sort) profile.
+func Hadoop() *CDF {
+	return MustCDF("hadoop-sort", []CDFPoint{
+		{64, 0.10}, {512, 0.25}, {4096, 0.60}, {16384, 0.80},
+		{65536, 0.93}, {262144, 1.0},
+	})
+}
+
+// Spark is the Spark (Sort) profile.
+func Spark() *CDF {
+	return MustCDF("spark-sort", []CDFPoint{
+		{64, 0.15}, {1024, 0.35}, {4096, 0.60}, {32768, 0.85},
+		{131072, 0.95}, {524288, 1.0},
+	})
+}
+
+// SparkSQL is the Spark SQL (Query) profile.
+func SparkSQL() *CDF {
+	return MustCDF("sparksql-query", []CDFPoint{
+		{64, 0.30}, {256, 0.50}, {4096, 0.75}, {16384, 0.88},
+		{131072, 0.98}, {262144, 1.0},
+	})
+}
+
+// GraphLab is the GraphLab (Filtering) profile.
+func GraphLab() *CDF {
+	return MustCDF("graphlab-filtering", []CDFPoint{
+		{64, 0.25}, {512, 0.50}, {4096, 0.75}, {32768, 0.90},
+		{131072, 1.0},
+	})
+}
+
+// Memcached is the Memcached (KV store) profile: dominated by small
+// messages with a modest tail.
+func Memcached() *CDF {
+	return MustCDF("memcached-kv", []CDFPoint{
+		{64, 0.40}, {128, 0.60}, {512, 0.80}, {1024, 0.90},
+		{4096, 0.96}, {32768, 1.0},
+	})
+}
+
+// AppProfiles returns the Figure 8b applications in presentation order.
+func AppProfiles() []*CDF {
+	return []*CDF{Hadoop(), Spark(), SparkSQL(), GraphLab(), Memcached()}
+}

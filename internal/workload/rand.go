@@ -1,0 +1,102 @@
+// Package workload generates the traffic the paper evaluates on: open-loop
+// Poisson all-to-all microbenchmarks at a target load (Figure 8a), synthetic
+// heavy-tailed traces matching disaggregated-application message-size
+// distributions (Figure 8b), and YCSB key-value workloads (Figures 6-7).
+//
+// All randomness flows from a splitmix64 PRNG so runs are reproducible from
+// a seed, which the experiment harness relies on for paper-vs-measured
+// comparisons.
+package workload
+
+import "math"
+
+// Rand is a deterministic splitmix64 PRNG. The zero value is a valid
+// generator seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator with the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean —
+// the inter-arrival time of a Poisson process.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Split derives an independent generator (for parallel deterministic
+// streams, one per node).
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64())
+}
+
+// Zipf samples ranks in [0, n) with the YCSB zipfian skew (theta = 0.99),
+// using the Gray et al. construction that YCSB itself uses.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *Rand
+}
+
+// NewZipf returns a zipfian sampler over [0, n).
+func NewZipf(rng *Rand, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf with non-positive n")
+	}
+	z := &Zipf{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank; rank 0 is the most popular.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
