@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/sim"
@@ -17,33 +19,52 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	profile := flag.String("profile", "fixed64", "size profile: hadoop, spark, sparksql, graphlab, memcached, fixed64")
-	nodes := flag.Int("nodes", 144, "cluster size")
-	load := flag.Float64("load", 0.8, "offered load (0,1]")
-	count := flag.Int("count", 20000, "operations")
-	readFrac := flag.Float64("readfrac", 0.5, "fraction of reads")
-	seed := flag.Uint64("seed", 1, "PRNG seed")
-	bw := flag.Int64("bw", 100, "link bandwidth (Gbps)")
-	flag.Parse()
+// errFlagParse marks a flag-parse failure the flag package has already
+// reported (with usage) on stderr; main exits without printing it again.
+var errFlagParse = errors.New("flag parse error")
 
-	var sizes workload.SizeDist
-	switch *profile {
-	case "hadoop":
-		sizes = workload.Hadoop()
-	case "spark":
-		sizes = workload.Spark()
-	case "sparksql":
-		sizes = workload.SparkSQL()
-	case "graphlab":
-		sizes = workload.GraphLab()
-	case "memcached":
-		sizes = workload.Memcached()
-	case "fixed64":
-		sizes = workload.Fixed(64)
-	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+// usageError distinguishes bad invocations (exit 2, like flag-parse
+// failures) from runtime failures (exit 1).
+type usageError struct{ s string }
+
+func (e usageError) Error() string { return e.s }
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, errFlagParse) {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	}
+	var ue usageError
+	if errors.Is(err, errFlagParse) || errors.As(err, &ue) {
 		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// run is the testable entry point: flags in, trace out.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "fixed64", "size profile: hadoop, spark, sparksql, graphlab, memcached, fixed64")
+	nodes := fs.Int("nodes", 144, "cluster size")
+	load := fs.Float64("load", 0.8, "offered load (0,1]")
+	count := fs.Int("count", 20000, "operations")
+	readFrac := fs.Float64("readfrac", 0.5, "fraction of reads")
+	seed := fs.Uint64("seed", 1, "PRNG seed")
+	bw := fs.Int64("bw", 100, "link bandwidth (Gbps)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+
+	sizes, err := workload.SizeDistByName(*profile)
+	if err != nil {
+		return usageError{s: err.Error()}
 	}
 
 	ops, err := workload.Generate(workload.GenConfig{
@@ -51,11 +72,7 @@ func main() {
 		Sizes: sizes, ReadFrac: *readFrac, Count: *count, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	if err := trace.Write(os.Stdout, ops); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
+	return trace.Write(stdout, ops)
 }

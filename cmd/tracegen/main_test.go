@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("tracegen %v: %v (%s)", args, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestTracegenSeedStable(t *testing.T) {
+	args := []string{"-profile", "memcached", "-nodes", "16", "-load", "0.5", "-count", "500", "-seed", "3"}
+	a := gen(t, args...)
+	b := gen(t, args...)
+	if a != b {
+		t.Fatal("same seed produced different traces")
+	}
+	c := gen(t, "-profile", "memcached", "-nodes", "16", "-load", "0.5", "-count", "500", "-seed", "4")
+	if c == a {
+		t.Fatal("different seed produced an identical trace")
+	}
+}
+
+func TestTracegenOutputParses(t *testing.T) {
+	out := gen(t, "-nodes", "8", "-count", "300", "-seed", "1")
+	ops, err := trace.Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 296 { // 37 per node x 8 nodes (count/nodes rounds down)
+		t.Fatalf("parsed %d ops", len(ops))
+	}
+	for i, op := range ops {
+		if op.Src < 0 || op.Src >= 8 || op.Dst < 0 || op.Dst >= 8 || op.Src == op.Dst {
+			t.Fatalf("op %d: bad endpoints %d->%d", i, op.Src, op.Dst)
+		}
+		if op.Size <= 0 {
+			t.Fatalf("op %d: size %d", i, op.Size)
+		}
+	}
+}
+
+func TestTracegenRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-profile", "nope"}, &out, &errb); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := run([]string{"-load", "2.0"}, &out, &errb); err == nil {
+		t.Fatal("load > 1 accepted")
+	}
+}

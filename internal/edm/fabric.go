@@ -137,6 +137,17 @@ func (f *Fabric) UpLink(i int) *Link { return f.up[i] }
 // DownLink returns the switch->host link.
 func (f *Fabric) DownLink(i int) *Link { return f.down[i] }
 
+// LinkStats aggregates the fault counters of every link in the fabric
+// (both directions of every port).
+func (f *Fabric) LinkStats() LinkStats {
+	var s LinkStats
+	for i := 0; i < f.cfg.Ports; i++ {
+		s.Add(f.up[i].Stats())
+		s.Add(f.down[i].Stats())
+	}
+	return s
+}
+
 // Run drains all pending events.
 func (f *Fabric) Run() { f.Engine.Run() }
 

@@ -13,7 +13,7 @@ import (
 var (
 	ErrTimeout    = errors.New("edm: read timed out (NULL response)")
 	ErrNoMemory   = errors.New("edm: destination is not a memory node")
-	ErrTooManyOut = errors.New("edm: internal: pair window exceeded")
+	ErrTooManyOut = errors.New("edm: too many outstanding operations to destination")
 )
 
 // ReadCallback delivers a read/RMW result. On timeout data is nil and err is
@@ -30,6 +30,15 @@ type skey struct {
 	id   uint8
 }
 
+// idParity is the direction bit of the split message-ID space: reads and
+// RMWs (whose data flows dst->src) take odd IDs, writes even. See submit.
+func idParity(k Kind) uint8 {
+	if k == KindRREQ || k == KindRMW {
+		return 1
+	}
+	return 0
+}
+
 // sendState is one message-state-table entry on the TX side: a granted
 // message whose chunks are being sent.
 type sendState struct {
@@ -37,6 +46,12 @@ type sendState struct {
 	body  []byte
 	sent  int
 	ready bool // RRES data read from memory; WREQ is always ready
+}
+
+// writeState is the in-flight marker of an issued write, from submit until
+// the remote apply ack (or the post-send quarantine) clears it.
+type writeState struct {
+	cb WriteCallback
 }
 
 // readState tracks an outstanding RREQ/RMWREQ at the compute node.
@@ -99,7 +114,7 @@ type Host struct {
 	sendTab  map[skey]*sendState
 	readTab  map[skey]*readState
 	rxTab    map[skey]*rxState
-	writeCBs map[skey]WriteCallback
+	writeCBs map[skey]*writeState
 
 	grantQ    []grantItem
 	grantBusy bool
@@ -132,7 +147,7 @@ func newHost(engine *sim.Engine, cfg Config, port int, link *Link) *Host {
 		sendTab:  make(map[skey]*sendState),
 		readTab:  make(map[skey]*readState),
 		rxTab:    make(map[skey]*rxState),
-		writeCBs: make(map[skey]WriteCallback),
+		writeCBs: make(map[skey]*writeState),
 	}
 	return h
 }
@@ -184,19 +199,59 @@ func (h *Host) SendFrame(frame []byte) {
 
 // submit assigns an id and either activates the message or holds it back to
 // respect the X active-notifications-per-pair bound (§3.1.2).
+//
+// The ID space is split by direction: writes take even IDs, reads (and
+// RMWs) odd. A read's response travels the reverse pair — this host's read
+// from dst creates scheduler demand and send-table state for (dst -> this
+// host), the same pair dst's own writes to this host use — and the two
+// ID counters live at different hosts, so a shared per-destination
+// sequence collides: the scheduler rejects the demand as a duplicate ID
+// and the memory node's send table entry overwrites the write's. Parity
+// keeps the two allocators disjoint with no wire-format change.
 func (h *Host) submit(m *Message, rcb ReadCallback, wcb WriteCallback) {
-	m.ID = h.nextID[m.Dst]
+	m.ID = h.nextID[m.Dst]<<1 | idParity(m.Kind)
 	h.nextID[m.Dst]++
 	key := skey{m.Dst, m.ID}
+	// The 7-bit counter wraps after 128 submissions to one destination; if
+	// the op that used this ID is still in flight, reusing the key would
+	// silently cross their state (stolen callbacks, spurious timeouts).
+	// Fail the new op instead — reaching here means >127 ops outstanding
+	// to one node, far past the X=3 pacing window: the caller is
+	// overdriving the fabric. The check is per direction: a read's
+	// in-flight window is its readTab entry; a write's is its callback or
+	// send-table entry. (sendTab also holds RRES entries served for the
+	// peer's reads under the peer's odd IDs, which a new read's odd ID can
+	// legitimately coincide with — those are not collisions.)
+	busy := false
+	switch m.Kind {
+	case KindRREQ, KindRMW:
+		_, busy = h.readTab[key]
+	default:
+		if _, ok := h.writeCBs[key]; ok {
+			busy = true
+		} else if _, ok := h.sendTab[key]; ok {
+			busy = true
+		}
+	}
+	if busy {
+		if rcb != nil {
+			rcb(nil, ErrTooManyOut)
+		}
+		if wcb != nil {
+			wcb(ErrTooManyOut)
+		}
+		return
+	}
 	switch m.Kind {
 	case KindRREQ, KindRMW:
 		rs := &readState{cb: rcb, deadline: h.engine.Now() + h.cfg.ReadTimeout}
 		h.readTab[key] = rs
 		h.engine.After(h.cfg.ReadTimeout, func() { h.timeout(key) })
 	case KindWREQ:
-		if wcb != nil {
-			h.writeCBs[key] = wcb
-		}
+		// Register even a nil callback: the entry doubles as the write's
+		// in-flight marker for the ID-reuse guard above (the sendTab
+		// entry only appears later, at the message pump).
+		h.writeCBs[key] = &writeState{cb: wcb}
 	}
 	if h.active[m.Dst] >= h.cfg.MaxActivePerPair {
 		h.waitQ[m.Dst] = append(h.waitQ[m.Dst], m)
@@ -227,8 +282,28 @@ func (h *Host) timeout(key skey) {
 	if !ok || rs.done {
 		return
 	}
+	if h.engine.Now() < rs.deadline {
+		// Stale timer from an earlier read whose key was freed and reused
+		// after the 7-bit ID wrap; the current read's own timer is still
+		// pending and will fire at its deadline.
+		return
+	}
 	rs.done = true
-	delete(h.readTab, key)
+	// The entry is quarantined rather than deleted: the memory node may
+	// still hold send state and a queued grant for this key (e.g. blocked
+	// behind a dead link), which the issuing host cannot observe. Keeping
+	// the done entry makes submit's ID-reuse guard treat the key as busy,
+	// so a wrapped counter cannot cross a new read with the stale remote
+	// state. A late RRES frees it early (completeRead); otherwise a
+	// second timeout period bounds the quarantine — by then any remote
+	// state has drained (a blocked memory node keeps pumping chunks into
+	// the dead link, which drops them), so the ID never wedges
+	// permanently when the RREQ itself was lost.
+	h.engine.After(h.cfg.ReadTimeout, func() {
+		if cur, ok := h.readTab[key]; ok && cur == rs {
+			delete(h.readTab, key)
+		}
+	})
 	h.release(key.peer)
 	h.stats.Timeouts++
 	if rs.cb != nil {
@@ -513,6 +588,23 @@ func (h *Host) grantStep() {
 			if st.msg.Kind == KindWREQ {
 				// All chunks granted and sent: free the notification slot.
 				h.release(st.msg.Dst)
+				// If the chunks were lost on a dead link the apply ack
+				// never comes and the writeCBs marker would pin this ID
+				// forever; quarantine it for one timeout period past the
+				// last chunk, then free the ID (without firing the
+				// callback — EDM writes are unacknowledged on the wire,
+				// so a lost write is silent by design). Writes whose
+				// NOTIFICATION was lost keep their marker: that pair is
+				// wedged anyway (its window slots never free), and
+				// fail-fast on reuse is the honest signal.
+				key, ws := g.key, h.writeCBs[g.key]
+				if ws != nil {
+					h.engine.After(h.cfg.ReadTimeout, func() {
+						if cur, ok := h.writeCBs[key]; ok && cur == ws {
+							delete(h.writeCBs, key)
+						}
+					})
+				}
 			}
 		}
 		h.grantStep()
@@ -579,8 +671,14 @@ func (h *Host) applyWrite(src int, id uint8, body []byte) {
 // completeRead fires the callback for a finished RREQ/RMWREQ.
 func (h *Host) completeRead(key skey, data []byte) {
 	rs, ok := h.readTab[key]
-	if !ok || rs.done {
-		return // already timed out
+	if !ok {
+		return
+	}
+	if rs.done {
+		// Late response for a timed-out read: the remote state is now
+		// drained, so the key becomes safe to reuse.
+		delete(h.readTab, key)
+		return
 	}
 	rs.done = true
 	delete(h.readTab, key)
@@ -595,8 +693,10 @@ func (h *Host) completeRead(key skey, data []byte) {
 // WREQ was applied remotely.
 func (h *Host) fireWriteApplied(dst int, id uint8) {
 	key := skey{dst, id}
-	if cb, ok := h.writeCBs[key]; ok {
+	if ws, ok := h.writeCBs[key]; ok {
 		delete(h.writeCBs, key)
-		cb(nil)
+		if ws.cb != nil {
+			ws.cb(nil)
+		}
 	}
 }

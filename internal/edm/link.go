@@ -19,8 +19,24 @@ type Link struct {
 
 	disabled     bool
 	corruptEvery uint64 // corrupt every Nth block; 0 = never
+	dropEvery    uint64 // drop every Nth block; 0 = never
 	sent         uint64
 	dropped      uint64
+	corrupted    uint64
+}
+
+// LinkStats counts per-link fault events for the scenario reports.
+type LinkStats struct {
+	Sent      uint64 // blocks delivered (including corrupted ones)
+	Dropped   uint64 // blocks lost to administrative disable or DropOneIn
+	Corrupted uint64 // blocks delivered with an injected bit error
+}
+
+// Add accumulates another link's counters (for fabric-wide aggregation).
+func (s *LinkStats) Add(o LinkStats) {
+	s.Sent += o.Sent
+	s.Dropped += o.Dropped
+	s.Corrupted += o.Corrupted
 }
 
 // NewLink returns a link with the given one-way propagation delay and
@@ -48,8 +64,14 @@ func (l *Link) Disabled() bool { return l.disabled }
 // descrambler/decode path.
 func (l *Link) CorruptOneIn(n uint64) { l.corruptEvery = n }
 
-// Stats reports blocks sent and dropped.
-func (l *Link) Stats() (sent, dropped uint64) { return l.sent, l.dropped }
+// DropOneIn makes every nth block vanish on the line (n=0 disables) — the
+// lossy-link chaos mode, distinct from Disable's total outage.
+func (l *Link) DropOneIn(n uint64) { l.dropEvery = n }
+
+// Stats reports the link's fault counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{Sent: l.sent, Dropped: l.dropped, Corrupted: l.corrupted}
+}
 
 // Send schedules delivery of one block. The caller is responsible for
 // pacing (one block per BlockPeriod).
@@ -58,8 +80,13 @@ func (l *Link) Send(b phy.Block) {
 		l.dropped++
 		return
 	}
+	if l.dropEvery > 0 && (l.sent+l.dropped+1)%l.dropEvery == 0 {
+		l.dropped++
+		return
+	}
 	l.sent++
 	if l.corruptEvery > 0 && l.sent%l.corruptEvery == 0 {
+		l.corrupted++
 		b.Payload[1] ^= 0x40 // single bit error on the line
 	}
 	l.engine.After(l.Latency(), func() {

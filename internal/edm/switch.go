@@ -16,6 +16,10 @@ type SwitchStats struct {
 	GrantsTX       uint64
 	RejectedNotify uint64
 	RxErrors       uint64
+	// CircuitResyncs counts stale circuit-FIFO heads discarded when a
+	// granted chunk never materialized (its grant block was lost on a
+	// disabled or lossy link) — the §3.3 circuit-teardown repair path.
+	CircuitResyncs uint64
 	// MaxEgressBacklog is the largest number of blocks ever queued on any
 	// egress port — the paper's zero-queuing claim (§3.1.1 property 1)
 	// bounds it to roughly one in-flight chunk plus control blocks.
@@ -127,6 +131,17 @@ func (sw *Switch) handleMsg(p int, w phy.MemMsg) {
 		})
 	case KindWREQ, KindRRES:
 		port := sw.ports[p]
+		// Stale circuit heads accumulate when a grant block is dropped on
+		// a disabled/lossy link after its circuit was recorded: the
+		// granted chunk never arrives, and without repair every later
+		// chunk from this ingress would pop the wrong head and misroute.
+		// The chunk's header dst is exactly what the scheduler granted
+		// toward, so heads that do not match it belong to lost grants —
+		// discard them (the §3.3 teardown of a faulted circuit).
+		for len(port.circuits) > 0 && port.circuits[0] != dst {
+			port.circuits = port.circuits[1:]
+			sw.stats.CircuitResyncs++
+		}
 		if len(port.circuits) == 0 {
 			sw.stats.RxErrors++ // chunk with no circuit: protocol violation
 			return
@@ -144,10 +159,17 @@ func (sw *Switch) handleMsg(p int, w phy.MemMsg) {
 
 // onGrant implements the switch side of a scheduling decision.
 func (sw *Switch) onGrant(g sched.Grant) {
-	// Record the circuit: the granted chunk will arrive on ingress g.Src
-	// and leave on egress g.Dst. Chunks arrive in grant order per ingress
-	// because hosts serve their grant queues in FIFO order.
-	sw.ports[g.Src].circuits = append(sw.ports[g.Src].circuits, g.Dst)
+	// The circuit — granted chunks arrive on ingress g.Src and leave on
+	// egress g.Dst — is recorded when the grant block is enqueued on the
+	// egress mux, NOT at issue time: an implicit first-RRES grant (the
+	// forwarded RREQ, SwForwardCycles) and an explicit /G/
+	// (SwGenGrantCycles) cross the switch with different pipeline delays,
+	// so two grants to the same data sender can reach it in the opposite
+	// of issue order when the scheduler clock outpaces the skew (e.g. the
+	// 3 GHz ASIC clock of §4.3). The host serves its grant queue in
+	// arrival order; stamping the circuit at egress-enqueue time keeps
+	// both FIFOs identically ordered, where stamping at issue time
+	// misroutes chunks to the wrong egress under concurrent reads.
 	sw.stats.GrantsTX++
 
 	if g.First && g.Tag != nil {
@@ -158,6 +180,7 @@ func (sw *Switch) onGrant(g sched.Grant) {
 			panic("edm: grant tag is not a wire message")
 		}
 		sw.engine.After(sw.cycles(SwForwardCycles), func() {
+			sw.ports[g.Src].circuits = append(sw.ports[g.Src].circuits, g.Dst)
 			sw.ports[g.Src].enqueue(w.Encode()...)
 		})
 		return
@@ -167,6 +190,7 @@ func (sw *Switch) onGrant(g sched.Grant) {
 		panic(fmt.Sprintf("edm: pack grant: %v", err))
 	}
 	sw.engine.After(sw.cycles(SwGenGrantCycles), func() {
+		sw.ports[g.Src].circuits = append(sw.ports[g.Src].circuits, g.Dst)
 		sw.ports[g.Src].enqueue(gb)
 	})
 }

@@ -1,6 +1,9 @@
 package netsim
 
 import (
+	"math"
+	"math/bits"
+
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -164,7 +167,22 @@ func (m *idealModel) For(size int, read bool) (sim.Time, error) {
 // measure queue growth rather than protocol behaviour; the paper's own
 // Figure 8a note records the same load-accounting subtlety.
 func ScaleArrivals(p Protocol, ops []workload.Op) []workload.Op {
-	var data, wire int64
+	wire, data := ArrivalScale(p, ops)
+	if data == 0 || wire <= data {
+		return ops
+	}
+	out := make([]workload.Op, len(ops))
+	for i, op := range ops {
+		op.Arrival = scaleTime(op.Arrival, wire, data)
+		out[i] = op
+	}
+	return out
+}
+
+// ArrivalScale reports the wire-inflation ratio (wire, data) ScaleArrivals
+// stretches the trace by, so callers can map other trace-timebase instants
+// (phase boundaries, event times) into the scaled run timebase.
+func ArrivalScale(p Protocol, ops []workload.Op) (wire, data int64) {
 	for _, op := range ops {
 		data += int64(op.Size)
 		wire += int64(p.WireBytes(op.Size))
@@ -172,15 +190,34 @@ func ScaleArrivals(p Protocol, ops []workload.Op) []workload.Op {
 			wire += int64(p.ReqWireBytes())
 		}
 	}
+	return wire, data
+}
+
+// ScaleArrival maps one instant from the offered-trace timebase to the
+// scaled run timebase (identity when there is no inflation).
+func ScaleArrival(t sim.Time, wire, data int64) sim.Time {
 	if data == 0 || wire <= data {
-		return ops
+		return t
 	}
-	out := make([]workload.Op, len(ops))
-	for i, op := range ops {
-		op.Arrival = sim.Time(int64(op.Arrival) * wire / data)
-		out[i] = op
+	return scaleTime(t, wire, data)
+}
+
+// scaleTime computes t*num/den without overflowing: a multi-second trace
+// (t ~ 1e12 ps) times a large wire-byte total overflows int64 long before
+// the quotient does, so the product is kept in 128 bits.
+func scaleTime(t sim.Time, num, den int64) sim.Time {
+	hi, lo := bits.Mul64(uint64(t), uint64(num))
+	if hi >= uint64(den) {
+		// Quotient would overflow 64 bits; unreachable for physical traces
+		// (it needs t*num/den > 292 years of simulated time) but saturate
+		// rather than panic in Div64.
+		return sim.Time(math.MaxInt64)
 	}
-	return out
+	q, _ := bits.Div64(hi, lo, uint64(den))
+	if q > math.MaxInt64 {
+		return sim.Time(math.MaxInt64)
+	}
+	return sim.Time(q)
 }
 
 // RunTrace is a convenience wrapper: generate a trace and run it

@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestScaleArrivalsNoOverflow is the regression test for the int64 overflow
+// in ScaleArrivals: a multi-second trace (arrivals ~ 5e12 ps) with a large
+// aggregate wire-byte total made int64(op.Arrival)*wire wrap negative, which
+// then fed negative arrival times into the engine (a panic) or scrambled op
+// order.
+func TestScaleArrivalsNoOverflow(t *testing.T) {
+	// 200k ops of 64 KB is ~13 GB of data; EDM's wire total is ~1.05x that,
+	// so wire ~ 1.4e10 and arrival*wire ~ 7e22 >> MaxInt64 ~ 9.2e18.
+	const (
+		count = 200000
+		size  = 65536
+	)
+	ops := make([]workload.Op, count)
+	for i := range ops {
+		ops[i] = workload.Op{
+			Index: i, Src: i % 8, Dst: 8 + i%8, Size: size,
+			Arrival: sim.Time(i) * 25 * sim.Microsecond, // last arrival: 5 s
+		}
+	}
+	p := &EDM{}
+	scaled := ScaleArrivals(p, ops)
+	var data, wire int64
+	for _, op := range ops {
+		data += int64(op.Size)
+		wire += int64(p.WireBytes(op.Size))
+	}
+	if wire <= data {
+		t.Fatalf("test needs wire (%d) > data (%d) to exercise scaling", wire, data)
+	}
+	for i, op := range scaled {
+		if op.Arrival < ops[i].Arrival {
+			t.Fatalf("op %d: scaled arrival %d < original %d (overflow)",
+				i, op.Arrival, ops[i].Arrival)
+		}
+		if i > 0 && op.Arrival < scaled[i-1].Arrival {
+			t.Fatalf("op %d: arrival order broken after scaling", i)
+		}
+	}
+	// Exact check on the largest arrival: t*wire/data via math/big.
+	last := ops[count-1].Arrival
+	want := new(big.Int).Mul(big.NewInt(int64(last)), big.NewInt(wire))
+	want.Quo(want, big.NewInt(data))
+	if got := scaled[count-1].Arrival; got != sim.Time(want.Int64()) {
+		t.Fatalf("last arrival scaled to %d, want %d", got, want.Int64())
+	}
+}
+
+func TestScaleTimeSaturates(t *testing.T) {
+	// A quotient beyond int64 must saturate, not panic in bits.Div64.
+	got := scaleTime(sim.Time(math.MaxInt64), math.MaxInt64, 2)
+	if got != sim.Time(math.MaxInt64) {
+		t.Fatalf("scaleTime did not saturate: %d", got)
+	}
+}

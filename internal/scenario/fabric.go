@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/edm"
+	"repro/internal/memctl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// maxFabricMsg caps op sizes on the block-level backend: the EDM message
+// header carries a 16-bit length, so heavy-tailed profile samples are
+// clamped here (the flow-level backend carries them unclamped).
+const maxFabricMsg = 32 * 1024
+
+// runFabric executes the scenario on the block-level edm.Fabric testbed.
+// Faults are injected into the live links at their scheduled times — reads
+// caught in an outage take the §3.3 NULL-response timeout path, corrupted
+// blocks are detected (and the op retried or failed) by the receiver's
+// decode path, and one-sided writes lost to a dead link surface as
+// never-completed ops in the report.
+func runFabric(spec *Spec) (*Report, error) {
+	if spec.Nodes > edm.MaxPorts {
+		return nil, fmt.Errorf("scenario %s: %d nodes exceeds the fabric backend's %d ports (use backend %q)",
+			spec.Name, spec.Nodes, edm.MaxPorts, BackendNetsim)
+	}
+	part := workload.NewPartition(spec.Seed)
+	tagged, bounds, horizon, err := buildTrace(part, spec)
+	if err != nil {
+		return nil, err
+	}
+	events := append(append([]Event(nil), spec.Events...),
+		expandChaos(part.Sub("chaos"), spec.Chaos, spec.Nodes, horizon)...)
+	sortEvents(events)
+
+	cfg := edm.DefaultConfig(spec.Nodes)
+	cfg.LinkBandwidth = spec.Bandwidth
+	fabric := edm.New(cfg)
+	memCfg := memctl.DefaultConfig()
+	for i := 0; i < spec.Nodes; i++ {
+		fabric.AttachMemory(i, memctl.New(memCfg))
+	}
+	engine := fabric.Engine
+
+	// Outages: merged per-node windows drive DisableLink/EnableLink. At
+	// block level flaps and absences are the same thing — the link is dark.
+	flaps, absent := outageWindows(events)
+	down := map[int][]interval{}
+	for n := 0; n < spec.Nodes; n++ {
+		iv := append(append([]interval(nil), flaps[n]...), absent[n]...)
+		sortIntervals(iv)
+		down[n] = mergeIntervals(iv)
+	}
+	for n := 0; n < spec.Nodes; n++ {
+		for _, iv := range down[n] {
+			n, iv := n, iv
+			if iv.start <= 0 {
+				fabric.DisableLink(n)
+			} else {
+				engine.At(iv.start, func() { fabric.DisableLink(n) })
+			}
+			if iv.end < forever {
+				engine.At(iv.end, func() { fabric.EnableLink(n) })
+			}
+		}
+	}
+	// Corruption and loss bursts on the live links. Overlapping same-node
+	// bursts nest: the rate is only cleared when the last active burst
+	// ends (an earlier burst's end must not cancel a later one). With
+	// overlapping bursts of different rates the most recently started
+	// rate wins — a documented simplification.
+	type burstDepth struct{ corrupt, drop int }
+	depth := make([]burstDepth, spec.Nodes)
+	for _, e := range events {
+		e := e
+		switch e.Kind {
+		case CorruptBurst:
+			engine.At(e.At, func() {
+				depth[e.Node].corrupt++
+				fabric.UpLink(e.Node).CorruptOneIn(e.OneIn)
+				fabric.DownLink(e.Node).CorruptOneIn(e.OneIn)
+			})
+			engine.At(e.Until, func() {
+				depth[e.Node].corrupt--
+				if depth[e.Node].corrupt == 0 {
+					fabric.UpLink(e.Node).CorruptOneIn(0)
+					fabric.DownLink(e.Node).CorruptOneIn(0)
+				}
+			})
+		case DropBurst:
+			engine.At(e.At, func() {
+				depth[e.Node].drop++
+				fabric.UpLink(e.Node).DropOneIn(e.OneIn)
+				fabric.DownLink(e.Node).DropOneIn(e.OneIn)
+			})
+			engine.At(e.Until, func() {
+				depth[e.Node].drop--
+				if depth[e.Node].drop == 0 {
+					fabric.UpLink(e.Node).DropOneIn(0)
+					fabric.DownLink(e.Node).DropOneIn(0)
+				}
+			})
+		}
+	}
+
+	// Fault-window exposure per op, for the phase counters and the recovery
+	// summary: which ops were issued while a fault affecting their src or
+	// dst was active (or within DetectDelay of an outage's end).
+	corrupt := probWindows(events, CorruptBurst)
+	inOutage := func(op workload.Op) bool {
+		for _, n := range []int{op.Src, op.Dst} {
+			for _, w := range down[n] {
+				if op.Arrival >= w.start && op.Arrival < w.end+spec.DetectDelay {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	inCorrupt := func(op workload.Op) bool {
+		_, a := coveringProb(corrupt, op.Src, op.Arrival)
+		_, b := coveringProb(corrupt, op.Dst, op.Arrival)
+		return a || b
+	}
+
+	// Issue the trace. Completion state is recorded per op index.
+	type opDone struct {
+		done    bool
+		failed  bool
+		latency sim.Time
+	}
+	results := make([]opDone, len(tagged))
+	addrs := part.Stream("addr")
+	addrSpace := memCfg.Size - maxFabricMsg
+	for i := range tagged {
+		i := i
+		op := tagged[i].op
+		if op.Size > maxFabricMsg {
+			op.Size = maxFabricMsg
+		}
+		addr := (addrs.Uint64() % addrSpace) &^ 63
+		engine.At(op.Arrival, func() {
+			start := engine.Now()
+			if op.Read {
+				fabric.Host(op.Src).Read(op.Dst, addr, op.Size, func(_ []byte, err error) {
+					results[i] = opDone{done: true, failed: err != nil, latency: engine.Now() - start}
+				})
+			} else {
+				fabric.Host(op.Src).Write(op.Dst, addr, make([]byte, op.Size), func(err error) {
+					results[i] = opDone{done: true, failed: err != nil, latency: engine.Now() - start}
+				})
+			}
+		})
+	}
+	fabric.Run()
+
+	rep := &Report{
+		Scenario: spec.Name, Backend: spec.Backend, Protocol: "EDM",
+		Nodes: spec.Nodes, Seed: spec.Seed,
+		Horizon: engine.Now(), Issued: len(tagged),
+		Events: len(events), Links: fabric.LinkStats(),
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		rep.Timeouts += fabric.Host(i).Stats().Timeouts
+	}
+	type phaseAcc struct{ absNs []float64 }
+	acc := make([]phaseAcc, len(spec.Phases))
+	var recovery []float64
+	prs := make([]PhaseReport, len(spec.Phases))
+	for i, ph := range spec.Phases {
+		prs[i].Name = ph.Name
+		prs[i].Start = bounds[i].start
+		prs[i].End = bounds[i].end
+	}
+	for i, t := range tagged {
+		pr := &prs[t.meta.phase]
+		pr.Issued++
+		r := results[i]
+		outage := inOutage(t.op)
+		if inCorrupt(t.op) {
+			pr.Corrupt++
+			rep.Corrupted++
+		}
+		if r.done && !r.failed {
+			rep.Completed++
+			pr.Done++
+			acc[t.meta.phase].absNs = append(acc[t.meta.phase].absNs, r.latency.Nanoseconds())
+			if outage {
+				// The op rode out a fault window and still completed: its
+				// latency is the failover tail the fault imposed.
+				pr.Failover++
+				rep.Failovers++
+				recovery = append(recovery, r.latency.Microseconds())
+			}
+		} else {
+			// Timed-out reads and writes lost on a dead link.
+			rep.Dropped++
+			pr.Dropped++
+		}
+	}
+	rep.Recovery = stats.Summarize(recovery)
+	for i := range prs {
+		prs[i].AbsNs = stats.Summarize(acc[i].absNs)
+	}
+	rep.Phases = prs
+	return rep, nil
+}

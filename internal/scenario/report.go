@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/edm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PhaseReport summarizes one load phase's completions (grouped by the phase
+// that issued the op).
+type PhaseReport struct {
+	Name     string
+	Start    sim.Time // first possible arrival of the phase
+	End      sim.Time // end of the phase's arrival window
+	Issued   int
+	Done     int
+	AbsNs    stats.Summary // absolute completion latency, ns
+	Norm     stats.Summary // latency / unloaded ideal (netsim backend only)
+	Corrupt  int           // ops hit by corruption in this phase
+	Failover int           // ops rerouted around a dead link in this phase
+	Dropped  int           // ops lost to dead links / leave / join
+}
+
+// Report is a completed scenario run. All fields are deterministic
+// functions of the Spec, so two runs with equal specs render byte-identical
+// reports.
+type Report struct {
+	Scenario  string
+	Backend   Backend
+	Protocol  string
+	Nodes     int
+	Seed      uint64
+	Horizon   sim.Time
+	Issued    int
+	Completed int
+	Dropped   int
+	Failovers int
+	Corrupted int
+	Timeouts  uint64 // fabric backend: reads answered by NULL (§3.3)
+	// Recovery summarizes fault-window ops in microseconds. On the netsim
+	// backend each sample is a rerouted op's deferral: how long after its
+	// intended arrival it could be issued. On the fabric backend each
+	// sample is the raw completion latency of an op issued inside (or
+	// within DetectDelay of) a fault window that still completed — the
+	// latency tail the fault imposed.
+	Recovery stats.Summary
+	Events   int           // fault events applied (authored + chaos)
+	Links    edm.LinkStats // fabric backend: aggregate link fault counters
+	Phases   []PhaseReport
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\t%s\n", r.Scenario)
+	fmt.Fprintf(tw, "backend\t%s\n", r.Backend)
+	if r.Backend == BackendNetsim {
+		fmt.Fprintf(tw, "protocol\t%s\n", r.Protocol)
+	}
+	fmt.Fprintf(tw, "nodes\t%d\n", r.Nodes)
+	fmt.Fprintf(tw, "seed\t%d\n", r.Seed)
+	fmt.Fprintf(tw, "horizon\t%v\n", r.Horizon)
+	fmt.Fprintf(tw, "fault events\t%d\n", r.Events)
+	fmt.Fprintf(tw, "ops\tissued %d completed %d dropped %d\n",
+		r.Issued, r.Completed, r.Dropped)
+	fmt.Fprintf(tw, "faults\tfailovers %d corrupted %d timeouts %d\n",
+		r.Failovers, r.Corrupted, r.Timeouts)
+	if r.Links.Sent+r.Links.Dropped > 0 {
+		fmt.Fprintf(tw, "link blocks\tsent %d dropped %d corrupted %d\n",
+			r.Links.Sent, r.Links.Dropped, r.Links.Corrupted)
+	}
+	if r.Recovery.N > 0 {
+		fmt.Fprintf(tw, "recovery (us)\t%s\n", r.Recovery.Row())
+	}
+	for _, p := range r.Phases {
+		fmt.Fprintf(tw, "phase %s\t[%v, %v) issued %d done %d corrupt %d failover %d dropped %d\n",
+			p.Name, p.Start, p.End, p.Issued, p.Done, p.Corrupt, p.Failover, p.Dropped)
+		if p.AbsNs.N > 0 {
+			fmt.Fprintf(tw, "  latency (ns)\t%s\n", p.AbsNs.Row())
+		}
+		if p.Norm.N > 0 {
+			fmt.Fprintf(tw, "  normalized\t%s\n", p.Norm.Row())
+		}
+	}
+	return tw.Flush()
+}

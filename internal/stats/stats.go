@@ -78,6 +78,13 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.P50, s.P99, s.Max)
 }
 
+// Row renders the percentile row used by tabular reports (no n= prefix, so
+// rows align under a caption column).
+func (s Summary) Row() string {
+	return fmt.Sprintf("mean %.3f p50 %.3f p90 %.3f p99 %.3f max %.3f",
+		s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
 // Ratios divides each observation by its paired baseline, for normalized
 // latency/MCT plots. Pairs with non-positive baselines are skipped.
 func Ratios(values, baselines []float64) []float64 {

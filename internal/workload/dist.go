@@ -191,3 +191,23 @@ func Memcached() *CDF {
 func AppProfiles() []*CDF {
 	return []*CDF{Hadoop(), Spark(), SparkSQL(), GraphLab(), Memcached()}
 }
+
+// SizeDistByName resolves the profile names shared by cmd/tracegen and the
+// scenario runner: fixed64, hadoop, spark, sparksql, graphlab, memcached.
+func SizeDistByName(name string) (SizeDist, error) {
+	switch name {
+	case "fixed64", "":
+		return Fixed(64), nil
+	case "hadoop":
+		return Hadoop(), nil
+	case "spark":
+		return Spark(), nil
+	case "sparksql":
+		return SparkSQL(), nil
+	case "graphlab":
+		return GraphLab(), nil
+	case "memcached":
+		return Memcached(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown size profile %q", name)
+}

@@ -70,11 +70,25 @@ func (c GenConfig) Validate() error {
 // Generate produces the trace, sorted by arrival time. Each node runs an
 // independent Poisson process whose rate makes its outgoing data bytes
 // consume Load of its link.
+//
+// Randomness is partitioned per subsystem and per node (arrival process,
+// destination choice, size sampler, read/write coin each draw from their own
+// stream), so e.g. swapping the size distribution leaves each node's
+// destination and read/write sequence unchanged for the same seed. (Arrival
+// times still rescale with the distribution's mean — the load-targeting gap
+// is meanGap = Sizes.Mean()*8/(Load*bw) — but the underlying exponential
+// draws are identical.)
 func Generate(cfg GenConfig) ([]Op, error) {
+	return GeneratePartitioned(NewPartition(cfg.Seed), cfg)
+}
+
+// GeneratePartitioned is Generate drawing from an existing Partition
+// (cfg.Seed is ignored); the scenario runner uses it to give each load phase
+// an isolated sub-partition of one scenario seed.
+func GeneratePartitioned(part *Partition, cfg GenConfig) ([]Op, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	root := NewRand(cfg.Seed)
 	// Mean inter-arrival per node: size_bits / (load * bandwidth_bits_per_ps).
 	bitsPerPs := float64(cfg.Bandwidth) / 1000.0
 	meanGap := (cfg.Sizes.Mean() * 8) / (cfg.Load * bitsPerPs) // picoseconds
@@ -85,19 +99,22 @@ func Generate(cfg GenConfig) ([]Op, error) {
 	}
 	ops := make([]Op, 0, cfg.Count)
 	for n := 0; n < cfg.Nodes && len(ops) < cfg.Count; n++ {
-		rng := root.Split()
+		arrivals := part.StreamN("arrival", n)
+		dsts := part.StreamN("dst", n)
+		sizes := part.StreamN("size", n)
+		rw := part.StreamN("rw", n)
 		t := 0.0
 		for k := 0; k < perNode && len(ops) < cfg.Count; k++ {
-			t += rng.Exp(meanGap)
-			dst := rng.Intn(cfg.Nodes - 1)
+			t += arrivals.Exp(meanGap)
+			dst := dsts.Intn(cfg.Nodes - 1)
 			if dst >= n {
 				dst++
 			}
 			ops = append(ops, Op{
 				Src:     n,
 				Dst:     dst,
-				Size:    cfg.Sizes.Sample(rng),
-				Read:    rng.Float64() < cfg.ReadFrac,
+				Size:    cfg.Sizes.Sample(sizes),
+				Read:    rw.Float64() < cfg.ReadFrac,
 				Arrival: sim.Time(t),
 			})
 		}

@@ -57,6 +57,59 @@ func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64())
 }
 
+// Partition derives independent named streams from one root seed. Unlike
+// chaining Split calls off a single generator — where every subsystem's
+// stream depends on how many draws earlier subsystems made — a Partition
+// keys each stream on its name alone, so adding a draw to one subsystem
+// (or adding a whole new subsystem) leaves every other stream byte-for-byte
+// unchanged. The scenario runner and trace generator give each subsystem
+// (arrival process, size sampler, chaos engine, per-node streams) its own
+// stream so runs are reproducible under evolution of any one of them.
+type Partition struct {
+	seed uint64
+}
+
+// NewPartition returns a partition rooted at seed.
+func NewPartition(seed uint64) *Partition { return &Partition{seed: seed} }
+
+// streamSeed hashes (seed, name) into a sub-seed: FNV-1a over the name,
+// mixed with the root seed through one Split step so that nearby roots and
+// similar names land far apart in state space.
+func (p *Partition) streamSeed(name string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	return NewRand(p.seed ^ h).Uint64()
+}
+
+// Stream returns the generator for the named subsystem. Repeated calls with
+// the same name return generators with identical sequences.
+func (p *Partition) Stream(name string) *Rand {
+	return NewRand(p.streamSeed(name))
+}
+
+// StreamN returns the i-th generator of a named family (e.g. one arrival
+// process per node).
+func (p *Partition) StreamN(name string, i int) *Rand {
+	return NewRand(NewRand(p.streamSeed(name) + uint64(i)).Uint64())
+}
+
+// Seed derives a sub-seed for the named subsystem, for APIs that take a
+// seed rather than a *Rand.
+func (p *Partition) Seed(name string) uint64 { return p.streamSeed(name) }
+
+// Sub returns a child partition for the named subsystem, so a subsystem can
+// partition its own randomness further without coordinating names globally.
+func (p *Partition) Sub(name string) *Partition {
+	return NewPartition(p.streamSeed(name))
+}
+
 // Zipf samples ranks in [0, n) with the YCSB zipfian skew (theta = 0.99),
 // using the Gray et al. construction that YCSB itself uses.
 type Zipf struct {
@@ -89,8 +142,9 @@ func zeta(n int, theta float64) float64 {
 }
 
 // Next returns the next rank; rank 0 is the most popular.
-func (z *Zipf) Next() int {
-	u := z.rng.Float64()
+func (z *Zipf) Next() int { return z.rank(z.rng.Float64()) }
+
+func (z *Zipf) rank(u float64) int {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
@@ -98,5 +152,11 @@ func (z *Zipf) Next() int {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	// For u near 1, float rounding can push eta*u-eta+1 to exactly 1 and the
+	// rank to n, outside the documented [0, n) range — clamp to n-1.
+	rank := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
 }
