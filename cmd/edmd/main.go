@@ -1,0 +1,100 @@
+// Command edmd is the live memory-node daemon: it serves the EDM message
+// vocabulary (RREQ/WREQ/RMWREQ and the session handshake) over reliable UDP
+// against a slab of memory with memctl-style semantics, including the
+// NIC-side atomic RMW menu of §3.2.1. Drive it with cmd/edmload and compare
+// the measured percentiles against cmd/edmsim's simulated ones.
+//
+// Usage:
+//
+//	edmd -listen 127.0.0.1:7979 -slab 67108864 -slotbytes 4096
+//	edmd -listen 127.0.0.1:0 -duration 10s   # ephemeral port, timed run
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/rmem"
+	"repro/internal/wire"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	cli.Exit("edmd", run(os.Args[1:], sig, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, lifecycle log out. stop ends
+// the daemon early (main wires it to SIGINT/SIGTERM).
+func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("edmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7979", "UDP listen address (host:port; port 0 picks a free one)")
+	slab := fs.Int64("slab", 64<<20, "slab size in bytes")
+	slots := fs.Int("slots", 0, "kv slot count (0 = slab/slotbytes)")
+	slotBytes := fs.Int("slotbytes", 4096, "bytes per kv slot")
+	dupWindow := fs.Int("dup-window", 0, "per-session duplicate-suppression window (0 = default)")
+	duration := fs.Duration("duration", 0, "serve for this long then exit (0 = until SIGINT/SIGTERM)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return cli.ErrFlagParse
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", fs.Arg(0))
+	}
+	if *slab <= 0 {
+		return cli.Usagef("-slab must be positive, got %d", *slab)
+	}
+	if *duration < 0 {
+		return cli.Usagef("-duration must not be negative")
+	}
+
+	srv, err := rmem.NewServer(rmem.ServerConfig{
+		Geometry: rmem.Geometry{
+			SlabBytes: uint64(*slab), Slots: *slots, SlotBytes: *slotBytes,
+		},
+		DupWindow: *dupWindow,
+	})
+	if err != nil {
+		return cli.UsageError{S: err.Error()}
+	}
+
+	// Session lifecycle (fresh session per HELLO, retirement on BYE, idle
+	// expiry) is handled by wire.UDPServer itself.
+	us, err := wire.ListenUDP(*listen, func(_ string, reply wire.Pipe) func([]byte) {
+		return srv.NewSession(reply).Deliver
+	})
+	if err != nil {
+		return err
+	}
+	g := srv.Geometry()
+	fmt.Fprintf(stdout, "edmd: listening on %s (slab %d B, %d slots x %d B)\n",
+		us.Addr(), g.SlabBytes, g.Slots, g.SlotBytes)
+
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+		case <-stop:
+		}
+	} else {
+		<-stop
+	}
+	if err := us.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "edmd: served reads %d writes %d rmws %d (%d B out, %d B in), errors %d\n",
+		st.Reads, st.Writes, st.RMWs, st.BytesRead, st.BytesWritten, st.Errors)
+	fmt.Fprintf(stdout, "edmd: sessions hello %d bye %d, modeled DRAM time %v\n",
+		st.Hellos, st.Byes, st.ModeledDRAM)
+	return nil
+}

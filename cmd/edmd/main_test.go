@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+
+	"os"
+	"regexp"
+	"repro/internal/cli"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rmem"
+	"repro/internal/wire"
+)
+
+// syncBuf is a goroutine-safe writer the daemon logs to while a test pokes
+// at it concurrently.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestEdmdHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, nil, &out, &errb); err != nil {
+		t.Fatalf("-h should exit cleanly, got %v", err)
+	}
+}
+
+func TestEdmdUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-listen"},          // flag parse failure
+		{"-slab", "-1"},      // invalid slab
+		{"-duration", "-1s"}, // negative duration
+		{"stray-arg"},        // unexpected positional
+		{"-slab", "4096", "-slots", "8", "-slotbytes", "4096"}, // slots overflow slab
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		err := run(args, nil, &out, &errb)
+		var ue cli.UsageError
+		if !errors.Is(err, cli.ErrFlagParse) && !errors.As(err, &ue) {
+			t.Errorf("edmd %v: got %v, want a usage error", args, err)
+		}
+	}
+}
+
+// TestEdmdServesAndReportsStats boots the daemon on an ephemeral port,
+// drives it with an rmem client, stops it, and checks the lifecycle log.
+func TestEdmdServesAndReportsStats(t *testing.T) {
+	out := &syncBuf{}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-slab", "1048576", "-slotbytes", "256"},
+			stop, out, out)
+	}()
+
+	// Wait for the listening line to learn the bound address.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address:\n%s", out.String())
+	}
+
+	uc, err := wire.DialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rmem.NewClient(uc, rmem.ClientConfig{
+		Retry: wire.ConnConfig{RetryTimeout: 100 * time.Millisecond, MaxRetries: 10}})
+	go uc.Run(client.Deliver)
+	if err := client.Connect(); err != nil {
+		t.Fatalf("connect to daemon: %v", err)
+	}
+	if g := client.Geometry(); g.SlabBytes != 1048576 || g.SlotBytes != 256 {
+		t.Fatalf("advertised geometry %+v", g)
+	}
+	if err := client.WriteSync(0, []byte("daemon")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.ReadSync(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "daemon" {
+		t.Fatalf("read back %q", got)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop on signal")
+	}
+	log := out.String()
+	for _, want := range []string{
+		`served reads 1 writes 1`, `sessions hello 1 bye 1`,
+	} {
+		if !regexp.MustCompile(want).MatchString(log) {
+			t.Errorf("lifecycle log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestEdmdDuration: a timed run exits on its own.
+func TestEdmdDuration(t *testing.T) {
+	var out syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-duration", "100ms"}, nil, &out, &out)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("timed run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("-duration run never exited")
+	}
+}

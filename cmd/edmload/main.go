@@ -1,0 +1,379 @@
+// Command edmload replays a trace (from cmd/tracegen or a file in the same
+// format) or a generated workload against a live disaggregated-memory
+// endpoint — a cmd/edmd daemon over UDP, or an in-process loopback server —
+// and reports latency percentiles in the same rows cmd/edmsim prints, so
+// simulated and measured latencies compare directly.
+//
+// Against the loopback endpoint the run is deterministic: arrivals are
+// replayed on the transport's virtual clock and every latency is a pure
+// function of the datagram sizes exchanged, so a fixed seed yields a
+// byte-identical report.
+//
+// Usage:
+//
+//	tracegen -profile memcached -nodes 16 | edmload            # loopback
+//	edmload -profile fixed64 -count 5000 -seed 7               # generated
+//	edmload -addr 127.0.0.1:7979 -trace t.txt -window 32       # live edmd
+//	edmload -addr 127.0.0.1:7979 -profile fixed64 -rate 50000  # paced
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/rmem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	cli.Exit("edmload", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// opResult is one completed operation.
+type opResult struct {
+	read   bool
+	failed bool
+	shed   bool // rejected at issue (window exhausted in rate mode)
+	bytes  int
+	ns     float64
+}
+
+// run is the testable entry point: flags in, report out.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("edmload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "live endpoint (host:port of an edmd; empty = in-process loopback server)")
+	traceFile := fs.String("trace", "-", "trace file ('-' = stdin)")
+	profile := fs.String("profile", "", "generate a workload instead of reading a trace: hadoop, spark, sparksql, graphlab, memcached, fixed64")
+	nodes := fs.Int("nodes", 16, "generated workload: cluster size")
+	load := fs.Float64("load", 0.5, "generated workload: offered load (0,1]")
+	count := fs.Int("count", 2000, "generated workload: operations")
+	readFrac := fs.Float64("readfrac", 0.5, "generated workload: fraction of reads")
+	bw := fs.Int64("bw", 100, "generated workload: link bandwidth (Gbps)")
+	seed := fs.Uint64("seed", 1, "PRNG seed (addresses, generated workload)")
+	window := fs.Int("window", 1, "outstanding-operation window (pipelining depth; live mode)")
+	rate := fs.Float64("rate", 0, "target issue rate in ops/s (live mode; 0 = closed loop)")
+	slab := fs.Int64("slab", 64<<20, "loopback server: slab size in bytes")
+	slots := fs.Int("slots", 0, "loopback server: kv slot count (0 = slab/slotbytes)")
+	slotBytes := fs.Int("slotbytes", 4096, "loopback server: bytes per kv slot")
+	retry := fs.Duration("retry", 20*time.Millisecond, "per-attempt retransmission timeout")
+	retries := fs.Int("retries", 5, "max retransmissions per operation")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return cli.ErrFlagParse
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", fs.Arg(0))
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *profile == "" {
+		for _, name := range []string{"nodes", "load", "count", "readfrac", "bw"} {
+			if set[name] {
+				return cli.Usagef("-%s only applies with -profile (trace mode reads the trace as-is)", name)
+			}
+		}
+	} else if set["trace"] {
+		return cli.Usagef("-trace and -profile are mutually exclusive")
+	}
+	if *addr != "" {
+		for _, name := range []string{"slab", "slots", "slotbytes"} {
+			if set[name] {
+				return cli.Usagef("-%s only applies to the loopback endpoint (the live server owns its geometry)", name)
+			}
+		}
+	} else {
+		// The loopback replay is strictly closed-loop at depth 1 on the
+		// virtual clock; accepting pacing/pipelining flags would silently
+		// mislabel the report.
+		for _, name := range []string{"rate", "window"} {
+			if set[name] {
+				return cli.Usagef("-%s only applies to a live endpoint (the loopback replay is closed-loop on the virtual clock)", name)
+			}
+		}
+	}
+	if *window < 1 || *window > rmem.MaxWindow {
+		return cli.Usagef("-window must be in [1, %d], got %d", rmem.MaxWindow, *window)
+	}
+	if *rate < 0 {
+		return cli.Usagef("-rate must not be negative")
+	}
+
+	// Assemble the op stream.
+	var ops []workload.Op
+	var source string
+	if *profile != "" {
+		sizes, err := workload.SizeDistByName(*profile)
+		if err != nil {
+			return cli.UsageError{S: err.Error()}
+		}
+		ops, err = workload.Generate(workload.GenConfig{
+			Nodes: *nodes, Load: *load, Bandwidth: sim.Gbps(*bw),
+			Sizes: sizes, ReadFrac: *readFrac, Count: *count, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		source = fmt.Sprintf("generated %s (%d ops, seed %d)", *profile, *count, *seed)
+	} else {
+		in := stdin
+		if *traceFile != "-" {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		ops, err = trace.Read(in)
+		if err != nil {
+			return err
+		}
+		source = fmt.Sprintf("trace %s (%d ops)", *traceFile, len(ops))
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1 // flag 0 means none; the config's zero means default
+	}
+	ccfg := rmem.ClientConfig{
+		Window: *window,
+		Retry:  wire.ConnConfig{RetryTimeout: *retry, MaxRetries: maxRetries},
+	}
+	if *addr == "" {
+		return runLoopback(ops, source, *seed, *slab, *slots, *slotBytes, ccfg, stdout)
+	}
+	return runLive(ops, source, *seed, *addr, *rate, ccfg, stdout)
+}
+
+// targets precomputes the (addr, size, read) triple of every op: sizes are
+// clamped to the datagram payload, addresses drawn 8-byte aligned from a
+// seeded stream over the slab — the same discipline the scenario runner's
+// fabric backend uses.
+func targets(ops []workload.Op, seed, slabBytes uint64) ([]workload.Op, []uint64, error) {
+	maxSize := wire.MaxData
+	if uint64(maxSize) > slabBytes/2 {
+		maxSize = int(slabBytes / 2)
+	}
+	if maxSize < 1 {
+		return nil, nil, fmt.Errorf("slab too small: %d bytes", slabBytes)
+	}
+	addrs := make([]uint64, len(ops))
+	stream := workload.NewPartition(seed).Stream("addr")
+	space := slabBytes - uint64(maxSize)
+	for i := range ops {
+		if ops[i].Size > maxSize {
+			ops[i].Size = maxSize
+		}
+		addrs[i] = (stream.Uint64() % space) &^ 7
+	}
+	return ops, addrs, nil
+}
+
+// runLoopback replays ops single-threaded against an in-process server,
+// measuring on the virtual clock: a deterministic report for a fixed seed.
+func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slots, slotBytes int, ccfg rmem.ClientConfig, stdout io.Writer) error {
+	if slab <= 0 {
+		return cli.Usagef("-slab must be positive, got %d", slab)
+	}
+	srv, err := rmem.NewServer(rmem.ServerConfig{
+		Geometry: rmem.Geometry{SlabBytes: uint64(slab), Slots: slots, SlotBytes: slotBytes},
+	})
+	if err != nil {
+		return cli.UsageError{S: err.Error()}
+	}
+	lb := wire.NewLoopback(wire.LoopbackConfig{})
+	client := rmem.NewClient(lb.ClientPipe(), ccfg)
+	lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+	lb.BindClient(client.Deliver)
+	if err := client.Connect(); err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ops, addrs, err := targets(ops, seed, srv.Geometry().SlabBytes)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, wire.MaxData)
+	results := make([]opResult, len(ops))
+	for i, op := range ops {
+		lb.AdvanceTo(op.Arrival)
+		start := lb.Now()
+		var opErr error
+		if op.Read {
+			_, opErr = client.ReadSync(addrs[i], op.Size)
+		} else {
+			opErr = client.WriteSync(addrs[i], buf[:op.Size])
+		}
+		results[i] = opResult{
+			read:   op.Read,
+			failed: opErr != nil,
+			bytes:  op.Size,
+			ns:     (lb.Now() - start).Nanoseconds(),
+		}
+	}
+	horizon := lb.Now()
+	horizonSec := float64(horizon) / float64(1000*sim.Millisecond)
+	return report(stdout, "loopback (virtual clock)", source, results,
+		horizon.String(), horizonSec, client, srv)
+}
+
+// runLive replays ops against a remote edmd over UDP, measured in wall time.
+// rate 0 runs closed-loop with window-many workers; rate > 0 paces an open
+// loop, shedding ops that find the window full (the client's fail-fast).
+func runLive(ops []workload.Op, source string, seed uint64, addr string, rate float64, ccfg rmem.ClientConfig, stdout io.Writer) error {
+	uc, err := wire.DialUDP(addr)
+	if err != nil {
+		return err
+	}
+	client := rmem.NewClient(uc, ccfg)
+	go uc.Run(client.Deliver)
+	if err := client.Connect(); err != nil {
+		uc.Close()
+		return err
+	}
+	defer client.Close()
+
+	ops, addrs, err := targets(ops, seed, client.Geometry().SlabBytes)
+	if err != nil {
+		return err
+	}
+	results := make([]opResult, len(ops))
+	start := time.Now()
+	if rate > 0 {
+		interval := time.Duration(float64(time.Second) / rate)
+		var wg sync.WaitGroup
+		for i, op := range ops {
+			i, op := i, op
+			if next := start.Add(time.Duration(i) * interval); time.Until(next) > 0 {
+				time.Sleep(time.Until(next))
+			}
+			issue := time.Now()
+			wg.Add(1)
+			done := func(err error) {
+				results[i] = opResult{read: op.Read, failed: err != nil,
+					bytes: op.Size, ns: float64(time.Since(issue).Nanoseconds())}
+				wg.Done()
+			}
+			var ierr error
+			if op.Read {
+				ierr = client.Read(addrs[i], op.Size, func(_ []byte, err error) { done(err) })
+			} else {
+				ierr = client.Write(addrs[i], make([]byte, op.Size), func(err error) { done(err) })
+			}
+			if ierr != nil {
+				// Window exhausted (or closed): the op is shed, the
+				// honest open-loop behaviour at overload.
+				results[i] = opResult{read: op.Read, shed: true, failed: true, bytes: op.Size}
+				wg.Done()
+			}
+		}
+		wg.Wait()
+	} else {
+		type item struct{ i int }
+		ch := make(chan item)
+		var wg sync.WaitGroup
+		workers := ccfg.Window
+		bufs := make([][]byte, workers)
+		for w := 0; w < workers; w++ {
+			bufs[w] = make([]byte, wire.MaxData)
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for it := range ch {
+					op := ops[it.i]
+					issue := time.Now()
+					var opErr error
+					if op.Read {
+						_, opErr = client.ReadSync(addrs[it.i], op.Size)
+					} else {
+						opErr = client.WriteSync(addrs[it.i], bufs[w][:op.Size])
+					}
+					results[it.i] = opResult{read: op.Read, failed: opErr != nil,
+						bytes: op.Size, ns: float64(time.Since(issue).Nanoseconds())}
+				}
+			}()
+		}
+		for i := range ops {
+			ch <- item{i}
+		}
+		close(ch)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	return report(stdout, "udp "+addr, source, results,
+		elapsed.String(), elapsed.Seconds(), client, nil)
+}
+
+// report renders the percentile table, mirroring cmd/edmsim's summary rows.
+func report(w io.Writer, endpoint, source string, results []opResult, horizon string, horizonSec float64, client *rmem.Client, srv *rmem.Server) error {
+	var all, reads, writes []float64
+	var done, failed, shed int
+	var bytesRead, bytesWritten uint64
+	for _, r := range results {
+		switch {
+		case r.shed:
+			shed++
+		case r.failed:
+			failed++
+		default:
+			done++
+			all = append(all, r.ns)
+			if r.read {
+				reads = append(reads, r.ns)
+				bytesRead += uint64(r.bytes)
+			} else {
+				writes = append(writes, r.ns)
+				bytesWritten += uint64(r.bytes)
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "endpoint\t%s\n", endpoint)
+	fmt.Fprintf(tw, "source\t%s\n", source)
+	fmt.Fprintf(tw, "operations\tissued %d done %d failed %d shed %d\n",
+		len(results), done, failed, shed)
+	fmt.Fprintf(tw, "horizon\t%s\n", horizon)
+	fmt.Fprintf(tw, "data\tread %d B written %d B\n", bytesRead, bytesWritten)
+	if s := stats.Summarize(all); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (all)\t%s\n", s.Row())
+	}
+	if s := stats.Summarize(reads); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (reads)\t%s\n", s.Row())
+	}
+	if s := stats.Summarize(writes); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (writes)\t%s\n", s.Row())
+	}
+	if horizonSec > 0 {
+		fmt.Fprintf(tw, "throughput\t%.0f ops/s\n", float64(done)/horizonSec)
+	}
+	cs := client.ConnStats()
+	fmt.Fprintf(tw, "transport\tsent %d retransmits %d timeouts %d\n",
+		cs.Sent, cs.Retransmit, cs.Timeouts)
+	if srv != nil {
+		st := srv.Stats()
+		fmt.Fprintf(tw, "server\treads %d writes %d rmws %d errors %d, modeled DRAM %v\n",
+			st.Reads, st.Writes, st.RMWs, st.Errors, st.ModeledDRAM)
+	}
+	return tw.Flush()
+}

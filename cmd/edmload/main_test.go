@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+
+	"regexp"
+	"repro/internal/cli"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rmem"
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// makeTrace renders a small deterministic trace in the wire format.
+func makeTrace(t *testing.T, seed uint64) string {
+	t.Helper()
+	ops, err := workload.Generate(workload.GenConfig{
+		Nodes: 8, Load: 0.5, Bandwidth: 100,
+		Sizes: workload.Memcached(), ReadFrac: 0.5, Count: 400, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func load(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, strings.NewReader(stdin), &out, &errb); err != nil {
+		t.Fatalf("edmload %v: %v (%s)", args, err, errb.String())
+	}
+	return out.String()
+}
+
+// TestLoopbackDeterministic is the acceptance check: replaying a tracegen
+// trace against the loopback server yields a byte-identical report for a
+// fixed seed.
+func TestLoopbackDeterministic(t *testing.T) {
+	tr := makeTrace(t, 11)
+	a := load(t, tr, "-seed", "5")
+	b := load(t, tr, "-seed", "5")
+	if a != b {
+		t.Fatalf("same trace+seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+	m := regexp.MustCompile(`operations\s+issued (\d+) done (\d+) failed 0 shed 0`).FindStringSubmatch(a)
+	if m == nil {
+		t.Fatalf("report missing clean op counts:\n%s", a)
+	}
+	if m[1] != m[2] {
+		t.Fatalf("issued %s but done %s:\n%s", m[1], m[2], a)
+	}
+	for _, want := range []string{
+		`endpoint\s+loopback \(virtual clock\)`,
+		`latency \(ns\) \(all\)\s+mean`,
+		`latency \(ns\) \(reads\)`, `latency \(ns\) \(writes\)`,
+		`throughput\s+\d+ ops/s`,
+		`transport\s+sent \d+ retransmits 0 timeouts 0`,
+		`server\s+reads \d+ writes \d+`,
+	} {
+		if !regexp.MustCompile(want).MatchString(a) {
+			t.Errorf("report missing %q:\n%s", want, a)
+		}
+	}
+	// A different address seed must change the numbers.
+	if c := load(t, tr, "-seed", "6"); c == a {
+		t.Fatal("different seed produced an identical report")
+	}
+}
+
+// TestGeneratedWorkload drives the loopback from a generated op stream.
+func TestGeneratedWorkload(t *testing.T) {
+	out := load(t, "", "-profile", "fixed64", "-count", "300", "-nodes", "4")
+	for _, want := range []string{
+		`source\s+generated fixed64 \(300 ops, seed 1\)`,
+		`operations\s+issued \d+ done \d+ failed 0`,
+	} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEdmloadHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatalf("-h should exit cleanly, got %v", err)
+	}
+}
+
+func TestEdmloadUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-window"},                      // flag parse failure
+		{"-window", "8"},                 // window without -addr (loopback is closed-loop)
+		{"-addr", "h:1", "-window", "0"}, // window below 1
+		{"-rate", "-3"},                  // negative rate
+		{"-rate", "100"},                 // rate without -addr
+		{"-nodes", "4"},                  // generation flag without -profile
+		{"-profile", "fixed64", "-trace", "t.txt"}, // conflicting sources
+		{"-profile", "nope"},                       // unknown profile
+		{"-addr", "h:1", "-slab", "64"},            // loopback geometry with live endpoint
+		{"stray"},                                  // unexpected positional
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		err := run(args, strings.NewReader(""), &out, &errb)
+		var ue cli.UsageError
+		if !errors.Is(err, cli.ErrFlagParse) && !errors.As(err, &ue) {
+			t.Errorf("edmload %v: got %v, want a usage error", args, err)
+		}
+	}
+	// Runtime (exit 1) errors: empty trace, missing file.
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run([]string{"-trace", "/does/not/exist"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+// startServer spins an in-process rmem server on an ephemeral UDP port.
+func startServer(t *testing.T) (addr string, srv *rmem.Server) {
+	t.Helper()
+	srv, err := rmem.NewServer(rmem.ServerConfig{
+		Geometry: rmem.Geometry{SlabBytes: 1 << 22, SlotBytes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := wire.ListenUDP("127.0.0.1:0", func(_ string, reply wire.Pipe) func([]byte) {
+		return srv.NewSession(reply).Deliver
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { us.Close() })
+	return us.Addr(), srv
+}
+
+// TestLiveEndpoint replays a trace against a real UDP server, pipelined.
+func TestLiveEndpoint(t *testing.T) {
+	addr, srv := startServer(t)
+	out := load(t, makeTrace(t, 7), "-addr", addr, "-window", "8",
+		"-retry", "100ms", "-retries", "10")
+	for _, want := range []string{
+		`endpoint\s+udp ` + regexp.QuoteMeta(addr),
+		`operations\s+issued \d+ done \d+ failed 0 shed 0`,
+		`latency \(ns\) \(all\)`,
+	} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if st := srv.Stats(); st.Reads == 0 || st.Writes == 0 {
+		t.Errorf("server never saw traffic: %+v", st)
+	}
+}
+
+// TestLiveRatePaced exercises the open-loop path (and its shed accounting).
+func TestLiveRatePaced(t *testing.T) {
+	addr, _ := startServer(t)
+	start := time.Now()
+	out := load(t, "", "-addr", addr, "-profile", "fixed64", "-count", "200",
+		"-rate", "20000", "-window", "16", "-retry", "100ms", "-retries", "10")
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("paced run finished implausibly fast: %v", elapsed)
+	}
+	if !regexp.MustCompile(`operations\s+issued 1\d\d done`).MatchString(out) {
+		t.Errorf("report missing issue count:\n%s", out)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -28,33 +29,8 @@ import (
 	"repro/internal/trace"
 )
 
-// errFlagParse marks a flag-parse failure the flag package has already
-// reported (with usage) on stderr; main exits without printing it again.
-var errFlagParse = errors.New("flag parse error")
-
-// usageError distinguishes bad invocations (exit 2, like flag-parse
-// failures) from runtime failures (exit 1).
-type usageError struct{ s string }
-
-func (e usageError) Error() string { return e.s }
-
-func usagef(format string, a ...any) error {
-	return usageError{s: fmt.Sprintf(format, a...)}
-}
-
 func main() {
-	err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
-	if err == nil {
-		return
-	}
-	if !errors.Is(err, errFlagParse) {
-		fmt.Fprintf(os.Stderr, "edmsim: %v\n", err)
-	}
-	var ue usageError
-	if errors.Is(err, errFlagParse) || errors.As(err, &ue) {
-		os.Exit(2)
-	}
-	os.Exit(1)
+	cli.Exit("edmsim", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point: flags in, report out.
@@ -73,7 +49,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
-		return errFlagParse
+		return cli.ErrFlagParse
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -91,13 +67,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// reject the conflict instead of running something else.
 		for _, name := range []string{"protocol", "nodes", "bw", "trace"} {
 			if set[name] {
-				return usagef("-%s does not apply in scenario mode (the spec defines it)", name)
+				return cli.Usagef("-%s does not apply in scenario mode (the spec defines it)", name)
 			}
 		}
 		return runScenario(*scenarioName, *scenarioFile, *seed, stdout)
 	}
 	if set["seed"] {
-		return usagef("-seed only applies to scenario mode (seed traces with tracegen -seed)")
+		return cli.Usagef("-seed only applies to scenario mode (seed traces with tracegen -seed)")
 	}
 
 	p := netsim.ProtocolByName(*proto)
@@ -106,7 +82,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		for _, q := range netsim.Protocols() {
 			names = append(names, q.Name())
 		}
-		return usagef("unknown protocol %q (want one of %v)", *proto, names)
+		return cli.Usagef("unknown protocol %q (want one of %v)", *proto, names)
 	}
 
 	in := stdin
@@ -163,7 +139,7 @@ func runScenario(name, file string, seed uint64, stdout io.Writer) error {
 	var spec *scenario.Spec
 	switch {
 	case name != "" && file != "":
-		return usagef("-scenario and -scenario-file are mutually exclusive")
+		return cli.Usagef("-scenario and -scenario-file are mutually exclusive")
 	case name != "":
 		spec = scenario.Builtin(name)
 		if spec == nil {
@@ -171,7 +147,7 @@ func runScenario(name, file string, seed uint64, stdout io.Writer) error {
 			for _, s := range scenario.Builtins() {
 				names = append(names, s.Name)
 			}
-			return usagef("unknown scenario %q (want one of %v)", name, names)
+			return cli.Usagef("unknown scenario %q (want one of %v)", name, names)
 		}
 	default:
 		f, err := os.Open(file)

@@ -10,38 +10,17 @@ package main
 import (
 	"errors"
 	"flag"
-	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// errFlagParse marks a flag-parse failure the flag package has already
-// reported (with usage) on stderr; main exits without printing it again.
-var errFlagParse = errors.New("flag parse error")
-
-// usageError distinguishes bad invocations (exit 2, like flag-parse
-// failures) from runtime failures (exit 1).
-type usageError struct{ s string }
-
-func (e usageError) Error() string { return e.s }
-
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
-	if err == nil {
-		return
-	}
-	if !errors.Is(err, errFlagParse) {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-	}
-	var ue usageError
-	if errors.Is(err, errFlagParse) || errors.As(err, &ue) {
-		os.Exit(2)
-	}
-	os.Exit(1)
+	cli.Exit("tracegen", run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point: flags in, trace out.
@@ -59,12 +38,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
-		return errFlagParse
+		return cli.ErrFlagParse
 	}
 
 	sizes, err := workload.SizeDistByName(*profile)
 	if err != nil {
-		return usageError{s: err.Error()}
+		return cli.UsageError{S: err.Error()}
 	}
 
 	ops, err := workload.Generate(workload.GenConfig{

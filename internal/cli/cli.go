@@ -1,0 +1,44 @@
+// Package cli carries the exit-code conventions shared by every command in
+// the repo: usage errors exit 2 (like flag-parse failures, which the flag
+// package has already reported on stderr), runtime errors exit 1, and -h
+// exits 0.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrFlagParse marks a flag-parse failure the flag package has already
+// reported (with usage) on stderr; Exit terminates without printing it
+// again.
+var ErrFlagParse = errors.New("flag parse error")
+
+// UsageError distinguishes bad invocations (exit 2, like flag-parse
+// failures) from runtime failures (exit 1).
+type UsageError struct{ S string }
+
+func (e UsageError) Error() string { return e.S }
+
+// Usagef builds a UsageError.
+func Usagef(format string, a ...any) error {
+	return UsageError{S: fmt.Sprintf(format, a...)}
+}
+
+// Exit terminates the process with the conventional code for err: return
+// normally for nil, 2 for usage/flag-parse errors, 1 otherwise. Non-flag
+// errors are printed as "<name>: <err>" on stderr.
+func Exit(name string, err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrFlagParse) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	var ue UsageError
+	if errors.Is(err, ErrFlagParse) || errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Benchmarks for the live service's client hot path. Run with:
+//
+//	go test -bench=. -benchmem ./internal/rmem
+//
+// BenchmarkClientPipelining is the headline number: sustained slot-read
+// throughput through the bounded-outstanding window over the in-process
+// loopback (no kernel UDP cost), reported as ops/s and MB/s.
+package rmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func benchPair(b *testing.B, window int) *Client {
+	b.Helper()
+	srv, err := NewServer(ServerConfig{Geometry: Geometry{SlabBytes: 1 << 24, Slots: 4096, SlotBytes: 1024}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb := wire.NewLoopback(wire.LoopbackConfig{})
+	client := NewClient(lb.ClientPipe(), ClientConfig{Window: window,
+		Retry: wire.ConnConfig{RetryTimeout: time.Second, MaxRetries: 3}})
+	lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+	lb.BindClient(client.Deliver)
+	if err := client.Connect(); err != nil {
+		b.Fatal(err)
+	}
+	return client
+}
+
+// BenchmarkClientRoundTrip measures one closed-loop remote read through the
+// full client/server stack.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("read=%d", size), func(b *testing.B) {
+			client := benchPair(b, 1)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.ReadSync(uint64(i%1024)*64, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkClientPipelining measures batched slot reads pushed through the
+// outstanding window from concurrent issuers — the live analogue of the
+// paper's pipelined remote reads.
+func BenchmarkClientPipelining(b *testing.B) {
+	for _, window := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			client := benchPair(b, window)
+			slot := client.Geometry().SlotBytes
+			b.SetBytes(int64(slot))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			issuers := 4
+			per := b.N / issuers
+			for g := 0; g < issuers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						batch := client.NewBatch()
+						batch.Get((g*per + i) % 4096)
+						if _, err := batch.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(per*issuers)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}

@@ -1,0 +1,466 @@
+package rmem
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memctl"
+	"repro/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrTooManyOut is the fail-fast signal when the bounded outstanding
+	// window is exhausted, mirroring edm.ErrTooManyOut: the caller is
+	// overdriving the node and must back off or widen the window.
+	ErrTooManyOut = errors.New("rmem: too many outstanding operations")
+	ErrBadKey     = errors.New("rmem: key out of range")
+	ErrTooLarge   = errors.New("rmem: value exceeds slot")
+	ErrClosed     = errors.New("rmem: client closed")
+)
+
+// MaxWindow caps ClientConfig.Window. It must stay well below the server's
+// duplicate-suppression window (wire.DefaultResponderWindow): while one op
+// is still retrying, the other in-flight ops' completions churn the
+// server's cache, and the cap keeps the slow op's entry from being evicted
+// before its last retransmission.
+const MaxWindow = 1024
+
+// ClientConfig tunes the client.
+type ClientConfig struct {
+	// Window bounds the outstanding operations (default 32, capped at
+	// MaxWindow). Requests beyond it fail fast with ErrTooManyOut, like
+	// edm.Host's bounded-outstanding-ID discipline.
+	Window int
+	// Retry tunes the reliable layer; RetryTimeout*(MaxRetries+1) is the
+	// per-ID deadline after which an operation fails with wire.ErrTimeout.
+	Retry wire.ConnConfig
+	// HandshakeTimeout bounds Connect (default 5 s).
+	HandshakeTimeout time.Duration
+	// Slots and SlotBytes override the server-advertised slot geometry for
+	// the Get/Put API (zero adopts the HELLO-ACK values).
+	Slots, SlotBytes int
+}
+
+// ClientStats counts client-side operations.
+type ClientStats struct {
+	Issued     uint64
+	Done       uint64
+	Failed     uint64 // completed with an error (timeout or remote status)
+	WindowFull uint64 // fail-fast rejections
+}
+
+// Client is the compute-node handle to a live memory node: raw Read/Write/
+// RMW plus the kvstore-shaped Get/Put, all asynchronously pipelined behind a
+// bounded outstanding window.
+type Client struct {
+	conn *wire.Conn
+	cfg  ClientConfig
+	// token identifies this client incarnation in its HELLO: the server
+	// resets per-remote session state when the token changes (client
+	// restart on the same port) but not on a retransmitted HELLO carrying
+	// the same token.
+	token [8]byte
+
+	mu       sync.Mutex
+	slotFree *sync.Cond
+	inflight int
+	geo      Geometry
+	closed   bool
+	stats    ClientStats
+}
+
+// NewClient builds a client over pipe. Route inbound datagrams to Deliver
+// (loopback: lb.BindClient(c.Deliver); UDP: go udpClient.Run(c.Deliver)),
+// then call Connect to perform the HELLO handshake.
+func NewClient(pipe wire.Pipe, cfg ClientConfig) *Client {
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.Window > MaxWindow {
+		cfg.Window = MaxWindow
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	c := &Client{conn: wire.NewConn(pipe, cfg.Retry), cfg: cfg}
+	rand.Read(c.token[:])
+	c.slotFree = sync.NewCond(&c.mu)
+	return c
+}
+
+// Deliver is the inbound datagram path; wire it to the transport.
+func (c *Client) Deliver(p []byte) { c.conn.Deliver(p) }
+
+// Connect performs the HELLO handshake and adopts the server's advertised
+// geometry (unless overridden in the config).
+func (c *Client) Connect() error {
+	type result struct {
+		m   *wire.Msg
+		err error
+	}
+	ch := make(chan result, 1)
+	if _, err := c.conn.Call(&wire.Msg{Kind: wire.KindHello, Data: c.token[:]}, func(m *wire.Msg, err error) {
+		ch <- result{m, err}
+	}); err != nil {
+		return err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return fmt.Errorf("rmem: handshake: %w", r.err)
+		}
+		if err := r.m.Status.Err(); err != nil {
+			return fmt.Errorf("rmem: handshake: %w", err)
+		}
+		geo, err := DecodeGeometry(r.m.Data)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.geo = geo
+		if c.cfg.Slots > 0 {
+			c.geo.Slots = c.cfg.Slots
+		}
+		if c.cfg.SlotBytes > 0 {
+			c.geo.SlotBytes = c.cfg.SlotBytes
+		}
+		c.mu.Unlock()
+		return nil
+	case <-time.After(c.cfg.HandshakeTimeout):
+		return fmt.Errorf("rmem: handshake: %w", wire.ErrTimeout)
+	}
+}
+
+// Geometry reports the effective slab/slot layout (valid after Connect).
+func (c *Client) Geometry() Geometry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.geo
+}
+
+// Stats returns a snapshot of the operation counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ConnStats returns the underlying reliable layer's counters
+// (retransmissions, timeouts, stray datagrams).
+func (c *Client) ConnStats() wire.ConnStats { return c.conn.Stats() }
+
+// Pending reports the in-flight operation count.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// acquire claims a window slot. With wait it blocks until one frees (batch
+// mode); otherwise it fails fast with ErrTooManyOut.
+func (c *Client) acquire(wait bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.inflight >= c.cfg.Window {
+		if c.closed {
+			return ErrClosed
+		}
+		if !wait {
+			c.stats.WindowFull++
+			return ErrTooManyOut
+		}
+		c.slotFree.Wait()
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	c.inflight++
+	c.stats.Issued++
+	return nil
+}
+
+// release frees a window slot and updates completion counters.
+func (c *Client) release(failed bool) {
+	c.mu.Lock()
+	c.inflight--
+	if failed {
+		c.stats.Failed++
+	} else {
+		c.stats.Done++
+	}
+	c.slotFree.Signal()
+	c.mu.Unlock()
+}
+
+// do issues one request inside the window discipline. cb receives the
+// response message or the transport/remote error.
+func (c *Client) do(wait bool, m *wire.Msg, cb func(*wire.Msg, error)) error {
+	if err := c.acquire(wait); err != nil {
+		return err
+	}
+	_, err := c.conn.Call(m, func(r *wire.Msg, err error) {
+		if err == nil {
+			err = r.Status.Err()
+		}
+		c.release(err != nil)
+		cb(r, err)
+	})
+	if err != nil {
+		c.release(true)
+		return err
+	}
+	return nil
+}
+
+// Read issues an asynchronous remote read of n bytes at addr; cb fires with
+// the data or an error (wire.ErrTimeout past the per-ID deadline). It fails
+// fast with ErrTooManyOut when the window is exhausted.
+func (c *Client) Read(addr uint64, n int, cb func([]byte, error)) error {
+	return c.do(false, &wire.Msg{Kind: wire.KindRREQ, Addr: addr, Count: uint32(n)},
+		func(r *wire.Msg, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			cb(r.Data, nil)
+		})
+}
+
+// Write issues an asynchronous remote write; cb fires once the server acks.
+func (c *Client) Write(addr uint64, data []byte, cb func(error)) error {
+	return c.do(false, &wire.Msg{Kind: wire.KindWREQ, Addr: addr,
+		Count: uint32(len(data)), Data: data},
+		func(_ *wire.Msg, err error) { cb(err) })
+}
+
+// RMW issues an asynchronous atomic read-modify-write; cb receives the
+// 64-bit result (CAS: 1 swapped / 0 not; others: the previous value).
+func (c *Client) RMW(addr uint64, op memctl.RMWOp, args []uint64, cb func(uint64, error)) error {
+	return c.do(false, &wire.Msg{Kind: wire.KindRMWREQ, Addr: addr, Op: uint8(op), Args: args},
+		func(r *wire.Msg, err error) {
+			if err != nil {
+				cb(0, err)
+				return
+			}
+			if len(r.Data) != 8 {
+				cb(0, fmt.Errorf("%w: RMW result %d bytes", wire.ErrBadMsg, len(r.Data)))
+				return
+			}
+			cb(binary.LittleEndian.Uint64(r.Data), nil)
+		})
+}
+
+// ReadSync is the blocking form of Read.
+func (c *Client) ReadSync(addr uint64, n int) ([]byte, error) {
+	type res struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan res, 1)
+	if err := c.Read(addr, n, func(d []byte, err error) { ch <- res{d, err} }); err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.data, r.err
+}
+
+// WriteSync is the blocking form of Write.
+func (c *Client) WriteSync(addr uint64, data []byte) error {
+	ch := make(chan error, 1)
+	if err := c.Write(addr, data, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// RMWSync is the blocking form of RMW.
+func (c *Client) RMWSync(addr uint64, op memctl.RMWOp, args ...uint64) (uint64, error) {
+	type res struct {
+		v   uint64
+		err error
+	}
+	ch := make(chan res, 1)
+	if err := c.RMW(addr, op, args, func(v uint64, err error) { ch <- res{v, err} }); err != nil {
+		return 0, err
+	}
+	r := <-ch
+	return r.v, r.err
+}
+
+// slotAddr maps a key to its slab address under the effective geometry.
+func (c *Client) slotAddr(key int) (uint64, int, error) {
+	c.mu.Lock()
+	geo := c.geo
+	c.mu.Unlock()
+	if geo.SlotBytes <= 0 {
+		return 0, 0, fmt.Errorf("rmem: no slot geometry (Connect first)")
+	}
+	if key < 0 || key >= geo.Slots {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrBadKey, key, geo.Slots)
+	}
+	return uint64(key) * uint64(geo.SlotBytes), geo.SlotBytes, nil
+}
+
+// Get reads the fixed-size slot for key (the kvstore-shaped API).
+func (c *Client) Get(key int, cb func([]byte, error)) error {
+	addr, n, err := c.slotAddr(key)
+	if err != nil {
+		return err
+	}
+	return c.Read(addr, n, cb)
+}
+
+// Put writes value into key's slot; values shorter than the slot leave the
+// tail untouched.
+func (c *Client) Put(key int, value []byte, cb func(error)) error {
+	addr, n, err := c.slotAddr(key)
+	if err != nil {
+		return err
+	}
+	if len(value) > n {
+		return fmt.Errorf("%w: %d bytes into %d-byte slot", ErrTooLarge, len(value), n)
+	}
+	return c.Write(addr, value, cb)
+}
+
+// GetSync and PutSync are the blocking slot forms.
+func (c *Client) GetSync(key int) ([]byte, error) {
+	addr, n, err := c.slotAddr(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadSync(addr, n)
+}
+
+// PutSync is the blocking form of Put.
+func (c *Client) PutSync(key int, value []byte) error {
+	ch := make(chan error, 1)
+	if err := c.Put(key, value, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// Close tears the session down (best-effort BYE) and fails any pending
+// operations with wire.ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.slotFree.Broadcast()
+	c.mu.Unlock()
+	// Quiesce in-flight ops (and their retransmission timers) before the
+	// BYE: the server forgets the session on BYE, and a stale request
+	// retried into a fresh session would re-execute — a duplicate RMW.
+	c.conn.Abort(wire.ErrClosed)
+	// Best-effort teardown: give the BYE one short round trip, then close
+	// regardless (the server's session state is reclaimable either way).
+	wait := c.cfg.Retry.RetryTimeout
+	if wait <= 0 || wait > 250*time.Millisecond {
+		wait = 250 * time.Millisecond
+	}
+	ch := make(chan struct{}, 1)
+	if _, err := c.conn.Call(&wire.Msg{Kind: wire.KindBye}, func(*wire.Msg, error) {
+		ch <- struct{}{}
+	}); err == nil {
+		select {
+		case <-ch:
+		case <-time.After(wait):
+		}
+	}
+	return c.conn.Close()
+}
+
+// BatchOp identifies one operation in a Batch.
+type BatchOp struct {
+	// Get: Value receives the slot contents. Put: Value is what was stored.
+	Key   int
+	Put   bool
+	Value []byte
+	Err   error
+}
+
+// Batch accumulates slot operations and issues them as one pipelined burst:
+// client-side batching for the Get/Put API. Unlike the raw async calls a
+// batch never fails fast — it throttles itself to the window, blocking
+// until slots free.
+type Batch struct {
+	c   *Client
+	ops []BatchOp
+}
+
+// NewBatch starts an empty batch.
+func (c *Client) NewBatch() *Batch { return &Batch{c: c} }
+
+// Get queues a slot read.
+func (b *Batch) Get(key int) *Batch {
+	b.ops = append(b.ops, BatchOp{Key: key})
+	return b
+}
+
+// Put queues a slot write.
+func (b *Batch) Put(key int, value []byte) *Batch {
+	b.ops = append(b.ops, BatchOp{Key: key, Put: true, Value: value})
+	return b
+}
+
+// Len reports the queued operation count.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Flush issues every queued operation pipelined, waits for all completions,
+// and returns the per-op outcomes. The first error encountered (if any) is
+// also returned; the batch is reset for reuse.
+func (b *Batch) Flush() ([]BatchOp, error) {
+	ops := b.ops
+	b.ops = nil
+	var wg sync.WaitGroup
+	for i := range ops {
+		op := &ops[i]
+		addr, n, err := b.c.slotAddr(op.Key)
+		if err != nil {
+			op.Err = err
+			continue
+		}
+		if op.Put && len(op.Value) > n {
+			op.Err = fmt.Errorf("%w: %d bytes into %d-byte slot", ErrTooLarge, len(op.Value), n)
+			continue
+		}
+		var msg *wire.Msg
+		if op.Put {
+			msg = &wire.Msg{Kind: wire.KindWREQ, Addr: addr,
+				Count: uint32(len(op.Value)), Data: op.Value}
+		} else {
+			msg = &wire.Msg{Kind: wire.KindRREQ, Addr: addr, Count: uint32(n)}
+		}
+		wg.Add(1)
+		err = b.c.do(true, msg, func(r *wire.Msg, err error) {
+			defer wg.Done()
+			if err != nil {
+				op.Err = err
+				return
+			}
+			if !op.Put {
+				op.Value = r.Data
+			}
+		})
+		if err != nil {
+			wg.Done()
+			op.Err = err
+		}
+	}
+	wg.Wait()
+	for i := range ops {
+		if ops[i].Err != nil {
+			return ops, ops[i].Err
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,211 @@
+// Package rmem is the live disaggregated-memory service: a server that
+// terminates wire requests against a slab of memory with memctl-style
+// semantics (byte-addressed reads/writes plus the NIC-side atomic RMW menu
+// of §3.2.1), and a client library that mirrors edm.Host's
+// bounded-outstanding-ID discipline — asynchronous pipelining, per-ID
+// deadlines via the reliable layer's retry budget, and a fail-fast error
+// when the window is exhausted. On top of the raw byte API the client
+// exposes the kvstore-shaped fixed-slot Get/Put of §4.2.2 with optional
+// batching.
+//
+// The server is transport-agnostic: cmd/edmd mounts it on wire.UDPServer,
+// tests and the scenario runner's live backend mount it on wire.Loopback.
+package rmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/memctl"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Geometry describes the server's memory slab and its kvstore-compatible
+// slot layout. It rides in the HELLO-ACK payload so clients self-configure.
+type Geometry struct {
+	// SlabBytes is the byte-addressable memory size.
+	SlabBytes uint64
+	// Slots and SlotBytes define the fixed-slot key-value layout carved
+	// from the front of the slab (key k lives at [k*SlotBytes, (k+1)*SlotBytes)).
+	Slots     int
+	SlotBytes int
+}
+
+// geometryBytes is the encoded HELLO-ACK payload size.
+const geometryBytes = 16
+
+// Encode renders the geometry as the HELLO-ACK payload.
+func (g Geometry) Encode() []byte {
+	b := make([]byte, geometryBytes)
+	binary.LittleEndian.PutUint64(b, g.SlabBytes)
+	binary.LittleEndian.PutUint32(b[8:], uint32(g.Slots))
+	binary.LittleEndian.PutUint32(b[12:], uint32(g.SlotBytes))
+	return b
+}
+
+// DecodeGeometry parses a HELLO-ACK payload.
+func DecodeGeometry(b []byte) (Geometry, error) {
+	if len(b) != geometryBytes {
+		return Geometry{}, fmt.Errorf("rmem: geometry payload %d bytes, want %d", len(b), geometryBytes)
+	}
+	return Geometry{
+		SlabBytes: binary.LittleEndian.Uint64(b),
+		Slots:     int(binary.LittleEndian.Uint32(b[8:])),
+		SlotBytes: int(binary.LittleEndian.Uint32(b[12:])),
+	}, nil
+}
+
+// ServerConfig sizes the memory node.
+type ServerConfig struct {
+	Geometry
+	// DupWindow is the per-session duplicate-suppression window
+	// (wire.DefaultResponderWindow when zero).
+	DupWindow int
+}
+
+// fill applies defaults and validates.
+func (c *ServerConfig) fill() error {
+	if c.SlabBytes == 0 {
+		c.SlabBytes = 64 << 20
+	}
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 4096
+	}
+	if c.Slots == 0 {
+		c.Slots = int(c.SlabBytes) / c.SlotBytes
+	}
+	if c.Slots < 0 || c.SlotBytes <= 0 {
+		return fmt.Errorf("rmem: invalid slot geometry %d x %d", c.Slots, c.SlotBytes)
+	}
+	if c.SlotBytes > wire.MaxData {
+		return fmt.Errorf("rmem: slot %d bytes exceeds the %d-byte datagram payload", c.SlotBytes, wire.MaxData)
+	}
+	if need := uint64(c.Slots) * uint64(c.SlotBytes); need > c.SlabBytes {
+		return fmt.Errorf("rmem: %d x %d slots need %d bytes, slab has %d", c.Slots, c.SlotBytes, need, c.SlabBytes)
+	}
+	return nil
+}
+
+// ServerStats counts served operations.
+type ServerStats struct {
+	Hellos, Byes        uint64
+	Reads, Writes, RMWs uint64
+	Errors              uint64 // requests answered with a non-OK status
+	BytesRead           uint64
+	BytesWritten        uint64
+	// ModeledDRAM accumulates the memctl-modeled DRAM service time of every
+	// access — what the accesses would have cost on the paper's DDR4 model —
+	// so live runs can report a simulator-comparable memory-side figure.
+	ModeledDRAM sim.Time
+}
+
+// Server terminates wire requests against a memory slab. One mutex
+// serializes all slab access, which is what makes the RMW menu atomic under
+// concurrent client sessions — the live stand-in for the paper's
+// non-preemptible NIC RMW pipeline (§3.2.1).
+type Server struct {
+	cfg ServerConfig
+
+	mu    sync.Mutex
+	mem   *memctl.Controller
+	stats ServerStats
+}
+
+// NewServer builds a memory node with the given slab/slot geometry.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	mcfg := memctl.DefaultConfig()
+	mcfg.Size = cfg.SlabBytes
+	return &Server{cfg: cfg, mem: memctl.New(mcfg)}, nil
+}
+
+// Geometry reports the slab layout advertised to clients.
+func (s *Server) Geometry() Geometry { return s.cfg.Geometry }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// NewSession builds the reliable server half for one client, replying over
+// pipe. Each session gets its own duplicate-suppression window.
+func (s *Server) NewSession(pipe wire.Pipe) *wire.Responder {
+	return wire.NewResponder(pipe, wire.ResponderConfig{Window: s.cfg.DupWindow}, s.Handle)
+}
+
+// statusOf maps a memctl error to a wire status.
+func statusOf(err error) wire.Status {
+	switch {
+	case err == nil:
+		return wire.StatusOK
+	case errors.Is(err, memctl.ErrOutOfRange), errors.Is(err, memctl.ErrBadLength):
+		return wire.StatusRange
+	case errors.Is(err, memctl.ErrBadOpcode), errors.Is(err, memctl.ErrUnaligned):
+		return wire.StatusOp
+	}
+	return wire.StatusProto
+}
+
+// Handle executes one fresh request and returns its response. It is the
+// wire.Responder handler; the responder layer has already suppressed
+// duplicates, so every call here executes exactly once.
+func (s *Server) Handle(m *wire.Msg) *wire.Msg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := &wire.Msg{Kind: m.Kind.Response(), ID: m.ID}
+	switch m.Kind {
+	case wire.KindHello:
+		s.stats.Hellos++
+		resp.Data = s.cfg.Geometry.Encode()
+	case wire.KindBye:
+		s.stats.Byes++
+	case wire.KindRREQ:
+		s.stats.Reads++
+		if m.Count > wire.MaxData {
+			s.stats.Errors++
+			resp.Status = wire.StatusRange
+			break
+		}
+		data, lat, err := s.mem.Read(m.Addr, int(m.Count))
+		if err != nil {
+			s.stats.Errors++
+			resp.Status = statusOf(err)
+			break
+		}
+		s.stats.BytesRead += uint64(len(data))
+		s.stats.ModeledDRAM += lat
+		resp.Data = data
+	case wire.KindWREQ:
+		s.stats.Writes++
+		lat, err := s.mem.Write(m.Addr, m.Data)
+		if err != nil {
+			s.stats.Errors++
+			resp.Status = statusOf(err)
+			break
+		}
+		s.stats.BytesWritten += uint64(len(m.Data))
+		s.stats.ModeledDRAM += lat
+	case wire.KindRMWREQ:
+		s.stats.RMWs++
+		result, lat, err := s.mem.RMW(m.Addr, memctl.RMWOp(m.Op), m.Args...)
+		if err != nil {
+			s.stats.Errors++
+			resp.Status = statusOf(err)
+			break
+		}
+		s.stats.ModeledDRAM += lat
+		resp.Data = make([]byte, 8)
+		binary.LittleEndian.PutUint64(resp.Data, result)
+	default:
+		s.stats.Errors++
+		resp = &wire.Msg{Kind: wire.KindByeAck, ID: m.ID, Status: wire.StatusProto}
+	}
+	return resp
+}

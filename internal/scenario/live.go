@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/edm"
+	"repro/internal/rmem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// liveRetry tunes the reliable layer for live scenario runs: a short real
+// retransmission timer (the virtual clock, not the wall clock, is what the
+// report measures) and enough retries to ride out a fault window a few
+// microseconds of virtual time wide.
+var liveRetry = wire.ConnConfig{RetryTimeout: time.Millisecond, MaxRetries: 8}
+
+// rateWindow is a fault window with a deterministic 1-in-N hit counter.
+type rateWindow struct {
+	interval
+	node  int
+	oneIn uint64
+	seen  uint64
+}
+
+// runLive executes the scenario against the real wire/rmem code path: an
+// in-process rmem server behind the reliable-UDP protocol stack over the
+// loopback transport. The trace is replayed closed-loop on the loopback's
+// virtual clock (arrivals honoured via AdvanceTo), so every latency — and
+// therefore the whole report — is a deterministic function of the spec.
+// Fault events map onto the transport: LinkDown windows drop every datagram
+// of ops touching the node, DropBurst windows drop 1-in-OneIn, CorruptBurst
+// windows flip a bit in 1-in-OneIn (caught by the codec CRC and recovered
+// by retransmission). Ops whose retry budget is exhausted inside a window
+// surface as drops, the live analogue of the fabric backend's NULL-response
+// timeouts.
+func runLive(spec *Spec) (*Report, error) {
+	part := workload.NewPartition(spec.Seed)
+	tagged, bounds, horizon, err := buildTrace(part, spec)
+	if err != nil {
+		return nil, err
+	}
+	events := append(append([]Event(nil), spec.Events...),
+		expandChaos(part.Sub("chaos"), spec.Chaos, spec.Nodes, horizon)...)
+	sortEvents(events)
+
+	// Per-node outage windows (flaps and absences are both just darkness at
+	// this level, as on the fabric backend) and rate-limited burst windows.
+	flapW, absentW := outageWindows(events)
+	down := map[int][]interval{}
+	for n := 0; n < spec.Nodes; n++ {
+		iv := append(append([]interval(nil), flapW[n]...), absentW[n]...)
+		sortIntervals(iv)
+		down[n] = mergeIntervals(iv)
+	}
+	var bursts []*rateWindow
+	burstKind := map[*rateWindow]EventKind{}
+	for _, e := range events {
+		if e.Kind != CorruptBurst && e.Kind != DropBurst {
+			continue
+		}
+		oneIn := e.OneIn
+		if oneIn == 0 {
+			oneIn = 64
+		}
+		w := &rateWindow{interval: interval{e.At, e.Until}, node: e.Node, oneIn: oneIn}
+		bursts = append(bursts, w)
+		burstKind[w] = e.Kind
+	}
+
+	srv, err := rmem.NewServer(rmem.ServerConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	// cur names the op whose datagrams are currently on the wire; the fault
+	// hook uses its endpoints and arrival time to decide which windows
+	// apply. Windows are matched against the op's *arrival* (the spec's
+	// timeline), not the transport's virtual now: the closed-loop replay
+	// serializes the whole cluster's trace through one connection, so the
+	// virtual clock outruns the arrival schedule almost immediately and
+	// window membership in transport time would be meaningless. Arrival
+	// matching also keeps fault exposure identical to the report's
+	// definition on the other backends. The replay is closed-loop, so at
+	// most one op is in flight — but retransmissions fire from timer
+	// goroutines, hence the mutex.
+	var curMu sync.Mutex
+	var cur *workload.Op
+	fault := func(_ sim.Time, _ wire.Dir, _ []byte) wire.Fault {
+		curMu.Lock()
+		op := cur
+		curMu.Unlock()
+		if op == nil {
+			return wire.FaultNone // handshake/teardown traffic
+		}
+		for _, n := range []int{op.Src, op.Dst} {
+			if _, hit := covering(down[n], op.Arrival); hit {
+				return wire.FaultDrop
+			}
+		}
+		for _, w := range bursts {
+			if w.node != op.Src && w.node != op.Dst {
+				continue
+			}
+			if op.Arrival < w.start || op.Arrival >= w.end {
+				continue
+			}
+			w.seen++
+			if w.seen%w.oneIn == 0 {
+				if burstKind[w] == DropBurst {
+					return wire.FaultDrop
+				}
+				return wire.FaultCorrupt
+			}
+		}
+		return wire.FaultNone
+	}
+
+	lb := wire.NewLoopback(wire.LoopbackConfig{Fault: fault})
+	client := rmem.NewClient(lb.ClientPipe(), rmem.ClientConfig{Window: 1, Retry: liveRetry})
+	lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+	lb.BindClient(client.Deliver)
+	if err := client.Connect(); err != nil {
+		return nil, err
+	}
+
+	// Replay closed-loop. Addresses come from the partition's addr stream,
+	// the same discipline as the fabric backend; sizes are clamped to the
+	// block-level cap so live and fabric runs of one spec stay comparable.
+	type opDone struct {
+		ok      bool
+		latency sim.Time
+	}
+	results := make([]opDone, len(tagged))
+	addrs := part.Stream("addr")
+	addrSpace := srv.Geometry().SlabBytes - maxFabricMsg
+	buf := make([]byte, maxFabricMsg)
+	for i := range tagged {
+		op := tagged[i].op
+		if op.Size > maxFabricMsg {
+			op.Size = maxFabricMsg
+		}
+		addr := (addrs.Uint64() % addrSpace) &^ 63
+		lb.AdvanceTo(op.Arrival)
+		curMu.Lock()
+		cur = &op
+		curMu.Unlock()
+		start := lb.Now()
+		var opErr error
+		if op.Read {
+			_, opErr = client.ReadSync(addr, op.Size)
+		} else {
+			opErr = client.WriteSync(addr, buf[:op.Size])
+		}
+		curMu.Lock()
+		cur = nil
+		curMu.Unlock()
+		results[i] = opDone{ok: opErr == nil, latency: lb.Now() - start}
+	}
+	liveHorizon := lb.Now()
+	connStats := client.ConnStats()
+	client.Close()
+
+	// Fault-window exposure, for the failover/corrupt counters and the
+	// recovery summary — same definitions as the fabric backend.
+	corrupt := probWindows(events, CorruptBurst)
+	inOutage := func(op workload.Op) bool {
+		for _, n := range []int{op.Src, op.Dst} {
+			for _, w := range down[n] {
+				if op.Arrival >= w.start && op.Arrival < w.end+spec.DetectDelay {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	inCorrupt := func(op workload.Op) bool {
+		_, a := coveringProb(corrupt, op.Src, op.Arrival)
+		_, b := coveringProb(corrupt, op.Dst, op.Arrival)
+		return a || b
+	}
+
+	lbStats := lb.Stats()
+	rep := &Report{
+		Scenario: spec.Name, Backend: spec.Backend, Protocol: "EDM",
+		Nodes: spec.Nodes, Seed: spec.Seed,
+		Horizon: liveHorizon, Issued: len(tagged),
+		Events:   len(events),
+		Timeouts: connStats.Timeouts,
+		Links: edm.LinkStats{
+			Sent:      lbStats.Delivered,
+			Dropped:   lbStats.Dropped,
+			Corrupted: lbStats.Corrupted,
+		},
+	}
+	type phaseAcc struct{ absNs []float64 }
+	acc := make([]phaseAcc, len(spec.Phases))
+	var recovery []float64
+	prs := make([]PhaseReport, len(spec.Phases))
+	for i, ph := range spec.Phases {
+		prs[i].Name = ph.Name
+		prs[i].Start = bounds[i].start
+		prs[i].End = bounds[i].end
+	}
+	for i, t := range tagged {
+		pr := &prs[t.meta.phase]
+		pr.Issued++
+		r := results[i]
+		outage := inOutage(t.op)
+		if inCorrupt(t.op) {
+			pr.Corrupt++
+			rep.Corrupted++
+		}
+		if r.ok {
+			rep.Completed++
+			pr.Done++
+			acc[t.meta.phase].absNs = append(acc[t.meta.phase].absNs, r.latency.Nanoseconds())
+			if outage {
+				pr.Failover++
+				rep.Failovers++
+				recovery = append(recovery, r.latency.Microseconds())
+			}
+		} else {
+			rep.Dropped++
+			pr.Dropped++
+		}
+	}
+	rep.Recovery = stats.Summarize(recovery)
+	for i := range prs {
+		prs[i].AbsNs = stats.Summarize(acc[i].absNs)
+	}
+	rep.Phases = prs
+	return rep, nil
+}

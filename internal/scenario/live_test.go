@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLiveBackendDeterministic runs the built-in live scenario twice: the
+// real wire/rmem code path over the loopback must render byte-identical
+// reports, with its fault windows actually exercised and recovered.
+func TestLiveBackendDeterministic(t *testing.T) {
+	run := func() (*Report, string) {
+		rep, err := Run(Builtin("live-loopback"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.String()
+	}
+	rep, a := run()
+	_, b := run()
+	if a != b {
+		t.Fatalf("live backend not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if rep.Backend != BackendLive {
+		t.Fatalf("backend %q", rep.Backend)
+	}
+	if rep.Completed != rep.Issued || rep.Dropped != 0 {
+		t.Fatalf("burst faults should be recovered by retransmission: %+v", rep)
+	}
+	if rep.Links.Dropped == 0 {
+		t.Error("drop burst never dropped a datagram")
+	}
+	if rep.Links.Corrupted == 0 {
+		t.Error("corruption burst never corrupted a datagram")
+	}
+	if rep.Corrupted == 0 {
+		t.Error("no ops counted as corruption-exposed")
+	}
+	ph := rep.Phases[0]
+	if ph.AbsNs.N == 0 || ph.AbsNs.Max <= ph.AbsNs.P50 {
+		t.Errorf("expected a retransmission latency tail, got %+v", ph.AbsNs)
+	}
+	if !strings.Contains(a, "backend") || !strings.Contains(a, "live") {
+		t.Errorf("report rendering missing backend line:\n%s", a)
+	}
+}
+
+// TestLiveBackendOutage: ops arriving inside a link-down window exhaust
+// their retry budget and surface as drops and timeouts, like the fabric
+// backend's NULL responses.
+func TestLiveBackendOutage(t *testing.T) {
+	spec := &Spec{
+		Name: "live-outage", Backend: BackendLive, Nodes: 4, Seed: 3,
+		Phases: []Phase{
+			{Name: "p", Count: 240, Load: 0.4, ReadFrac: 0.5, Profile: "fixed64"},
+		},
+		Events: []Event{
+			{Kind: LinkDown, Node: 1, At: 2 * sim.Microsecond, Until: 3 * sim.Microsecond},
+		},
+	}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("outage window lost no ops: %+v", rep)
+	}
+	if rep.Timeouts == 0 {
+		t.Fatalf("outage produced no retry-budget timeouts: %+v", rep)
+	}
+	if rep.Completed+rep.Dropped != rep.Issued {
+		t.Fatalf("op accounting: %d + %d != %d", rep.Completed, rep.Dropped, rep.Issued)
+	}
+	if rep.Phases[0].Dropped != rep.Dropped {
+		t.Fatalf("phase accounting disagrees: %+v", rep.Phases[0])
+	}
+}
+
+// TestLiveBackendValidate: backend "live" is a first-class spec value with
+// the fabric-style bandwidth default.
+func TestLiveBackendValidate(t *testing.T) {
+	s := &Spec{Name: "v", Backend: BackendLive, Nodes: 4,
+		Phases: []Phase{{Count: 10, Load: 0.5, Profile: "fixed64"}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bandwidth != 25 {
+		t.Fatalf("bandwidth default %v", s.Bandwidth)
+	}
+}

@@ -20,6 +20,8 @@ func Run(spec *Spec) (*Report, error) {
 	switch spec.Backend {
 	case BackendFabric:
 		return runFabric(spec)
+	case BackendLive:
+		return runLive(spec)
 	default:
 		return runNetsim(spec)
 	}

@@ -34,6 +34,12 @@ const (
 	// injected into the live links (Disable, CorruptOneIn, DropOneIn), the
 	// §3.3 fault-handling path end to end. Limited to edm.MaxPorts hosts.
 	BackendFabric Backend = "fabric"
+	// BackendLive runs the real service code path — the wire protocol's
+	// reliable layer and an rmem memory node — over the in-process loopback
+	// transport, replayed closed-loop on its virtual clock. Faults map to
+	// datagram drops/corruptions recovered by retransmission. Reports are
+	// deterministic functions of the spec, like the other backends.
+	BackendLive Backend = "live"
 )
 
 // FailoverPolicy is what happens to flow-level ops that hit a dead link.
@@ -150,7 +156,7 @@ func (s *Spec) Validate() error {
 	if s.Backend == "" {
 		s.Backend = BackendNetsim
 	}
-	if s.Backend != BackendNetsim && s.Backend != BackendFabric {
+	if s.Backend != BackendNetsim && s.Backend != BackendFabric && s.Backend != BackendLive {
 		return fmt.Errorf("scenario %s: unknown backend %q", s.Name, s.Backend)
 	}
 	if s.Nodes < 2 {
@@ -160,7 +166,7 @@ func (s *Spec) Validate() error {
 		s.Protocol = "EDM"
 	}
 	if s.Bandwidth <= 0 {
-		if s.Backend == BackendFabric {
+		if s.Backend == BackendFabric || s.Backend == BackendLive {
 			s.Bandwidth = 25
 		} else {
 			s.Bandwidth = 100
@@ -325,6 +331,22 @@ func Builtins() []*Spec {
 			Events: []Event{
 				{Kind: LinkDown, Node: 3, At: 5 * sim.Microsecond, Until: 12 * sim.Microsecond},
 				{Kind: CorruptBurst, Node: 7, At: 6 * sim.Microsecond, Until: 10 * sim.Microsecond, OneIn: 32},
+			},
+		},
+		{
+			Name:        "live-loopback",
+			Description: "8-node trace replayed through the real wire/rmem service over the loopback transport, with a drop burst and a corruption burst recovered by retransmission",
+			Backend:     BackendLive,
+			Nodes:       8,
+			Seed:        1,
+			Phases: []Phase{
+				// ~150 ops/node at load 0.3 spans ~10 us of virtual time,
+				// so the burst windows below sit mid-trace.
+				{Name: "steady", Count: 1200, Load: 0.3, ReadFrac: 0.5, Profile: "fixed64"},
+			},
+			Events: []Event{
+				{Kind: DropBurst, Node: 2, At: 3 * sim.Microsecond, Until: 5 * sim.Microsecond, OneIn: 4},
+				{Kind: CorruptBurst, Node: 5, At: 6 * sim.Microsecond, Until: 8 * sim.Microsecond, OneIn: 4},
 			},
 		},
 		{

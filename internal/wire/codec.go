@@ -1,0 +1,304 @@
+// Package wire carries EDM's memory-message vocabulary over real datagrams.
+//
+// The simulator speaks the paper's message types (RREQ/WREQ/RMWREQ and their
+// responses) at 66-bit-block granularity inside the Ethernet PHY; this
+// package re-frames the same vocabulary as a compact binary datagram format
+// plus a reliable request/response layer, so a live memory-node daemon
+// (cmd/edmd) and a load generator (cmd/edmload) can exchange the messages
+// the simulator only models. Three pieces:
+//
+//   - the codec (this file): one message per datagram, fixed little-endian
+//     header + RMW args + payload + CRC-32, with strict decode validation so
+//     corrupted datagrams are detected and dropped like a failed PCS decode
+//     in the paper's fabric (§3.3);
+//   - Conn (conn.go): client-side reliability — per-message retransmission
+//     with configurable timeout/retry, response matching by message ID;
+//   - Responder (conn.go): server-side duplicate suppression via an ID
+//     window with a cached-response replay, so retransmitted RMWREQs stay
+//     exactly-once.
+//
+// Transports: real UDP (udp.go) and a deterministic in-process loopback with
+// a virtual clock and fault hooks (loopback.go).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind is the datagram message type: the paper's §2.3 vocabulary plus the
+// session handshake/teardown pairs of the reliable layer.
+type Kind uint8
+
+const (
+	// KindHello opens a session; the server answers KindHelloAck with its
+	// slab geometry (see rmem.Geometry).
+	KindHello Kind = iota + 1
+	KindHelloAck
+	// KindBye closes a session; the server answers KindByeAck and forgets
+	// the client's duplicate-suppression window.
+	KindBye
+	KindByeAck
+	// KindRREQ reads Count bytes at Addr; answered by KindRRESP carrying
+	// the data.
+	KindRREQ
+	KindRRESP
+	// KindWREQ writes Data at Addr; answered by KindWACK. Unlike the
+	// paper's one-sided writes, the live protocol acks writes explicitly —
+	// the ack doubles as the retransmission signal.
+	KindWREQ
+	KindWACK
+	// KindRMWREQ performs an atomic read-modify-write (memctl.RMWOp in Op,
+	// operands in Args); answered by KindRMWRESP with the 64-bit result in
+	// Data.
+	KindRMWREQ
+	KindRMWRESP
+
+	kindMax = KindRMWRESP
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "HELLO"
+	case KindHelloAck:
+		return "HELLO-ACK"
+	case KindBye:
+		return "BYE"
+	case KindByeAck:
+		return "BYE-ACK"
+	case KindRREQ:
+		return "RREQ"
+	case KindRRESP:
+		return "RRESP"
+	case KindWREQ:
+		return "WREQ"
+	case KindWACK:
+		return "WACK"
+	case KindRMWREQ:
+		return "RMWREQ"
+	case KindRMWRESP:
+		return "RMWRESP"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsRequest reports whether k travels client->server and expects a response.
+func (k Kind) IsRequest() bool {
+	switch k {
+	case KindHello, KindBye, KindRREQ, KindWREQ, KindRMWREQ:
+		return true
+	}
+	return false
+}
+
+// Response returns the response kind a request expects.
+func (k Kind) Response() Kind {
+	switch k {
+	case KindHello:
+		return KindHelloAck
+	case KindBye:
+		return KindByeAck
+	case KindRREQ:
+		return KindRRESP
+	case KindWREQ:
+		return KindWACK
+	case KindRMWREQ:
+		return KindRMWRESP
+	}
+	return 0
+}
+
+// Status is the response outcome code.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusRange rejects an access outside the slab.
+	StatusRange
+	// StatusOp rejects a bad RMW opcode or argument count.
+	StatusOp
+	// StatusProto rejects a malformed or out-of-session request.
+	StatusProto
+
+	statusMax = StatusProto
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRange:
+		return "out-of-range"
+	case StatusOp:
+		return "bad-op"
+	case StatusProto:
+		return "protocol-error"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrRemote, s)
+}
+
+// Wire format limits.
+const (
+	// Version is the protocol version carried in every datagram.
+	Version = 1
+	// MaxArgs bounds the RMW operand count (memctl's widest op takes 2).
+	MaxArgs = 4
+	// MaxData bounds the payload so any message fits one unfragmented-ish
+	// UDP datagram (65507 payload max; leave generous headroom).
+	MaxData = 60000
+	// headerBytes is the fixed prefix: version(1) kind(1) status(1) op(1)
+	// nargs(1) id(4) addr(8) count(4).
+	headerBytes = 21
+	// crcBytes is the trailing CRC-32 (Castagnoli).
+	crcBytes = 4
+	// MaxDatagram is the largest encoded message.
+	MaxDatagram = headerBytes + 8*MaxArgs + MaxData + crcBytes
+)
+
+// Codec errors.
+var (
+	ErrTooLarge = errors.New("wire: message exceeds datagram bounds")
+	ErrShort    = errors.New("wire: datagram too short")
+	ErrVersion  = errors.New("wire: protocol version mismatch")
+	ErrBadKind  = errors.New("wire: unknown message kind")
+	ErrBadMsg   = errors.New("wire: malformed message")
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	ErrRemote   = errors.New("wire: request failed at server")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Msg is one wire message. Field use by kind:
+//
+//	RREQ:    ID, Addr, Count (bytes demanded)
+//	RRESP:   ID, Status, Data (the bytes; Count mirrors len(Data))
+//	WREQ:    ID, Addr, Data (payload; Count mirrors len(Data))
+//	WACK:    ID, Status
+//	RMWREQ:  ID, Addr, Op, Args
+//	RMWRESP: ID, Status, Data (8-byte result)
+//	HELLO:   ID
+//	HELLO-ACK: ID, Status, Data (server geometry, see rmem)
+//	BYE / BYE-ACK: ID
+type Msg struct {
+	Kind   Kind
+	Status Status
+	// Op is the RMW opcode (a memctl.RMWOp value).
+	Op uint8
+	// ID matches a response to its request. The reliable layer assigns
+	// sequential IDs per connection.
+	ID uint32
+	// Addr is the slab byte address.
+	Addr uint64
+	// Count is the byte count of the access: the read demand for RREQ, the
+	// payload length otherwise (kept explicit on the wire so demand is
+	// visible without the payload, as in the paper's notification headers).
+	Count uint32
+	// Args are the RMW operands.
+	Args []uint64
+	// Data is the payload.
+	Data []byte
+}
+
+// EncodedSize reports the datagram size of m without building it.
+func (m *Msg) EncodedSize() int {
+	return headerBytes + 8*len(m.Args) + len(m.Data) + crcBytes
+}
+
+// Encode renders m as one datagram.
+func (m *Msg) Encode() ([]byte, error) {
+	if m.Kind == 0 || m.Kind > kindMax {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(m.Kind))
+	}
+	if len(m.Args) > MaxArgs {
+		return nil, fmt.Errorf("%w: %d RMW args", ErrTooLarge, len(m.Args))
+	}
+	if len(m.Data) > MaxData {
+		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(m.Data))
+	}
+	b := make([]byte, m.EncodedSize())
+	b[0] = Version
+	b[1] = byte(m.Kind)
+	b[2] = byte(m.Status)
+	b[3] = m.Op
+	b[4] = byte(len(m.Args))
+	binary.LittleEndian.PutUint32(b[5:], m.ID)
+	binary.LittleEndian.PutUint64(b[9:], m.Addr)
+	binary.LittleEndian.PutUint32(b[17:], m.Count)
+	off := headerBytes
+	for _, a := range m.Args {
+		binary.LittleEndian.PutUint64(b[off:], a)
+		off += 8
+	}
+	off += copy(b[off:], m.Data)
+	binary.LittleEndian.PutUint32(b[off:], crc32.Checksum(b[:off], castagnoli))
+	return b, nil
+}
+
+// Decode parses one datagram. It validates the version, kind, status, arg
+// count, bounds and trailing checksum; any corruption that flips a bit
+// anywhere in the datagram is caught by the CRC, mirroring the fabric's
+// corrupted-block detection (§3.3).
+func Decode(b []byte) (*Msg, error) {
+	if len(b) < headerBytes+crcBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShort, len(b))
+	}
+	if len(b) > MaxDatagram {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+	}
+	body, sum := b[:len(b)-crcBytes], binary.LittleEndian.Uint32(b[len(b)-crcBytes:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrChecksum
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrVersion, b[0], Version)
+	}
+	m := &Msg{
+		Kind:   Kind(b[1]),
+		Status: Status(b[2]),
+		Op:     b[3],
+		ID:     binary.LittleEndian.Uint32(b[5:]),
+		Addr:   binary.LittleEndian.Uint64(b[9:]),
+		Count:  binary.LittleEndian.Uint32(b[17:]),
+	}
+	if m.Kind == 0 || m.Kind > kindMax {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, b[1])
+	}
+	if m.Status > statusMax {
+		return nil, fmt.Errorf("%w: status %d", ErrBadMsg, b[2])
+	}
+	nargs := int(b[4])
+	if nargs > MaxArgs {
+		return nil, fmt.Errorf("%w: %d RMW args", ErrBadMsg, nargs)
+	}
+	if len(body) < headerBytes+8*nargs {
+		return nil, fmt.Errorf("%w: %d args do not fit %d bytes", ErrBadMsg, nargs, len(body))
+	}
+	if nargs > 0 {
+		m.Args = make([]uint64, nargs)
+		for i := range m.Args {
+			m.Args[i] = binary.LittleEndian.Uint64(body[headerBytes+8*i:])
+		}
+	}
+	payload := body[headerBytes+8*nargs:]
+	if len(payload) > MaxData {
+		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(payload))
+	}
+	if len(payload) > 0 {
+		m.Data = append([]byte(nil), payload...)
+	}
+	return m, nil
+}

@@ -1,0 +1,400 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pipe is one unreliable datagram path to a single peer. Send is best-effort
+// (the datagram may be lost, duplicated or corrupted in flight); Close
+// releases the underlying resources. Implementations: the UDP client and the
+// per-remote reply pipes of the UDP server (udp.go), and the two ends of a
+// Loopback (loopback.go).
+type Pipe interface {
+	Send(p []byte) error
+	Close() error
+}
+
+// Reliability errors.
+var (
+	ErrClosed  = errors.New("wire: connection closed")
+	ErrTimeout = errors.New("wire: no response within the retry budget")
+)
+
+// ConnConfig tunes the client-side reliability layer.
+type ConnConfig struct {
+	// RetryTimeout is the per-attempt retransmission timeout.
+	RetryTimeout time.Duration
+	// MaxRetries is how many retransmissions follow the first attempt
+	// before the call fails with ErrTimeout. The per-ID deadline is thus
+	// RetryTimeout * (MaxRetries + 1). Zero means the default; a negative
+	// value disables retransmission entirely (single-attempt fail-fast).
+	MaxRetries int
+}
+
+// DefaultConnConfig returns the tuning used by the CLIs: 20 ms per attempt,
+// 5 retransmissions (120 ms per-ID deadline).
+func DefaultConnConfig() ConnConfig {
+	return ConnConfig{RetryTimeout: 20 * time.Millisecond, MaxRetries: 5}
+}
+
+func (c *ConnConfig) fill() {
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = DefaultConnConfig().RetryTimeout
+	}
+	switch {
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	case c.MaxRetries == 0:
+		c.MaxRetries = DefaultConnConfig().MaxRetries
+	}
+}
+
+// ConnStats counts client-side reliability events.
+type ConnStats struct {
+	Sent       uint64 // datagrams transmitted (including retransmissions)
+	Retransmit uint64 // retransmissions
+	Responses  uint64 // responses matched to a pending call
+	Stray      uint64 // datagrams that matched no pending call
+	Garbage    uint64 // datagrams that failed to decode (corruption)
+	Timeouts   uint64 // calls that exhausted their retry budget
+}
+
+// call is one in-flight request awaiting its response.
+type call struct {
+	enc      []byte // cached encoding, re-sent verbatim on retry
+	want     Kind   // expected response kind
+	cb       func(*Msg, error)
+	timer    *time.Timer
+	attempts int
+	done     bool
+}
+
+// Conn is the client half of the reliable layer: it assigns message IDs,
+// transmits requests over an unreliable Pipe, retransmits on a per-message
+// timer until the matching response arrives, and fails the call with
+// ErrTimeout once the retry budget is spent. Callbacks are invoked on
+// whatever goroutine delivers the response (the transport's receive path or
+// the retry timer), never with the connection lock held — they may issue new
+// calls.
+type Conn struct {
+	cfg  ConnConfig
+	pipe Pipe
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]*call
+	closed  bool
+	stats   ConnStats
+}
+
+// NewConn builds a reliable connection over pipe. The owner must route
+// inbound datagrams from the peer to Deliver.
+func NewConn(pipe Pipe, cfg ConnConfig) *Conn {
+	cfg.fill()
+	return &Conn{cfg: cfg, pipe: pipe, pending: make(map[uint32]*call)}
+}
+
+// Stats returns a snapshot of the reliability counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Call transmits a request and invokes cb exactly once: with the response,
+// or with ErrTimeout after the retry budget, or with ErrClosed if the
+// connection closes first. The assigned message ID is returned. cb may be
+// invoked synchronously (before Call returns) on transports that deliver
+// in the caller's stack, such as the loopback.
+func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
+	if !m.Kind.IsRequest() {
+		return 0, fmt.Errorf("%w: %v is not a request", ErrBadMsg, m.Kind)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	id := c.nextID
+	c.nextID++
+	m.ID = id
+	enc, err := m.Encode()
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	cl := &call{enc: enc, want: m.Kind.Response(), cb: cb, attempts: 1}
+	c.pending[id] = cl
+	c.stats.Sent++
+	c.mu.Unlock()
+	// Send outside the lock: a synchronous transport (loopback) delivers
+	// the response in this same stack, re-entering Deliver. A transport
+	// error is treated like a lost datagram — the retry timer armed below
+	// will either get through or time the call out.
+	c.pipe.Send(enc)
+	c.arm(id, cl)
+	return id, nil
+}
+
+// arm starts (or restarts) the retransmission timer for a call, after its
+// send attempt has returned. Arming after the send — not before — matters
+// for synchronous transports: the response may already have been delivered
+// in the send's own stack, and a pre-armed timer could race it under
+// scheduler jitter, retransmitting a message that was never lost.
+func (c *Conn) arm(id uint32, cl *call) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl.done || c.closed {
+		return
+	}
+	if cl.timer == nil {
+		cl.timer = time.AfterFunc(c.cfg.RetryTimeout, func() { c.retry(id) })
+	} else {
+		cl.timer.Reset(c.cfg.RetryTimeout)
+	}
+}
+
+// retry fires on the per-message timer: retransmit, or fail the call.
+func (c *Conn) retry(id uint32) {
+	c.mu.Lock()
+	cl, ok := c.pending[id]
+	if !ok || cl.done || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if cl.attempts > c.cfg.MaxRetries {
+		cl.done = true
+		delete(c.pending, id)
+		c.stats.Timeouts++
+		c.mu.Unlock()
+		if cl.cb != nil {
+			cl.cb(nil, fmt.Errorf("%w (after %d attempts)", ErrTimeout, cl.attempts))
+		}
+		return
+	}
+	cl.attempts++
+	c.stats.Sent++
+	c.stats.Retransmit++
+	c.mu.Unlock()
+	c.pipe.Send(cl.enc)
+	c.arm(id, cl)
+}
+
+// Deliver is the inbound datagram path: decode, match by ID, complete the
+// call. Unmatched or undecodable datagrams are counted and dropped.
+func (c *Conn) Deliver(p []byte) {
+	m, err := Decode(p)
+	c.mu.Lock()
+	if err != nil {
+		c.stats.Garbage++
+		c.mu.Unlock()
+		return
+	}
+	cl, ok := c.pending[m.ID]
+	if !ok || cl.done || cl.want != m.Kind {
+		// A response for a call that already timed out, a duplicate of one
+		// already delivered, or a kind mismatch.
+		c.stats.Stray++
+		c.mu.Unlock()
+		return
+	}
+	cl.done = true
+	delete(c.pending, m.ID)
+	if cl.timer != nil {
+		cl.timer.Stop()
+	}
+	c.stats.Responses++
+	c.mu.Unlock()
+	if cl.cb != nil {
+		cl.cb(m, nil)
+	}
+}
+
+// Pending reports the number of in-flight calls.
+func (c *Conn) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Abort fails every pending call with err (ErrClosed if nil) without
+// closing the connection; new calls proceed normally. Use it to quiesce
+// in-flight traffic — and its retransmission timers — before a teardown
+// exchange, so no stale request can be retried into a peer that has
+// already forgotten the session.
+func (c *Conn) Abort(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	c.mu.Lock()
+	calls := c.takePendingLocked()
+	c.mu.Unlock()
+	for _, cl := range calls {
+		if cl.cb != nil {
+			cl.cb(nil, err)
+		}
+	}
+}
+
+// takePendingLocked detaches every live pending call, stopping its timer.
+func (c *Conn) takePendingLocked() []*call {
+	calls := make([]*call, 0, len(c.pending))
+	for id, cl := range c.pending {
+		if !cl.done {
+			cl.done = true
+			if cl.timer != nil {
+				cl.timer.Stop()
+			}
+			calls = append(calls, cl)
+		}
+		delete(c.pending, id)
+	}
+	return calls
+}
+
+// Close fails every pending call with ErrClosed and closes the pipe.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	calls := c.takePendingLocked()
+	c.mu.Unlock()
+	for _, cl := range calls {
+		if cl.cb != nil {
+			cl.cb(nil, ErrClosed)
+		}
+	}
+	return c.pipe.Close()
+}
+
+// ResponderConfig tunes the server half.
+type ResponderConfig struct {
+	// Window is the duplicate-suppression capacity: how many recent request
+	// IDs keep their cached response for replay. With the client's bounded
+	// outstanding window far below this, a retransmitted request always
+	// finds its cached response instead of re-executing — which keeps RMWs
+	// exactly-once.
+	Window int
+}
+
+// DefaultResponderWindow is the default duplicate-suppression window.
+const DefaultResponderWindow = 4096
+
+// ResponderStats counts server-side events.
+type ResponderStats struct {
+	Requests   uint64 // fresh requests executed
+	Duplicates uint64 // retransmissions answered from the cache
+	Garbage    uint64 // datagrams that failed to decode
+	Rejected   uint64 // datagrams that decoded to a non-request kind
+}
+
+// respEntry is one duplicate-suppression slot. It is inserted before the
+// handler runs (done open, enc nil) so a retransmission racing the first
+// execution waits for the response instead of re-executing — the guarantee
+// that keeps RMWs exactly-once.
+type respEntry struct {
+	enc  []byte
+	done chan struct{}
+}
+
+// Responder is the server half of the reliable layer for one client session:
+// it decodes inbound requests, suppresses duplicates via an ID window with
+// cached-response replay, executes fresh requests through the handler, and
+// transmits the response. The handler runs on the delivering goroutine.
+type Responder struct {
+	pipe    Pipe
+	handler func(*Msg) *Msg
+
+	mu     sync.Mutex
+	window int
+	cache  map[uint32]*respEntry
+	order  []uint32
+	stats  ResponderStats
+}
+
+// NewResponder builds the server half over pipe. handler maps one fresh
+// request to its response (it must always return a response; protocol errors
+// are responses with a non-OK status).
+func NewResponder(pipe Pipe, cfg ResponderConfig, handler func(*Msg) *Msg) *Responder {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultResponderWindow
+	}
+	return &Responder{pipe: pipe, handler: handler, window: cfg.Window,
+		cache: make(map[uint32]*respEntry, cfg.Window)}
+}
+
+// Stats returns a snapshot of the responder counters.
+func (r *Responder) Stats() ResponderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Deliver is the inbound datagram path for one client's requests.
+func (r *Responder) Deliver(p []byte) {
+	m, err := Decode(p)
+	if err != nil {
+		r.mu.Lock()
+		r.stats.Garbage++
+		r.mu.Unlock()
+		return
+	}
+	if !m.Kind.IsRequest() {
+		r.mu.Lock()
+		r.stats.Rejected++
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[m.ID]; ok {
+		// Duplicate: wait out a still-running first execution, then replay
+		// its response without re-executing.
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		<-e.done
+		r.pipe.Send(e.enc)
+		return
+	}
+	e := &respEntry{done: make(chan struct{})}
+	if len(r.order) >= r.window {
+		// Evict the oldest *completed* entry. An entry whose handler is
+		// still running must survive — its retransmissions have to keep
+		// hitting the cache or the request would re-execute, breaking
+		// exactly-once. If every entry is in flight (bounded by the
+		// client's concurrency), the cache temporarily overshoots.
+		for i := 0; i < len(r.order); i++ {
+			oldest := r.order[0]
+			r.order = r.order[1:]
+			select {
+			case <-r.cache[oldest].done:
+				delete(r.cache, oldest)
+			default:
+				r.order = append(r.order, oldest)
+				continue
+			}
+			break
+		}
+	}
+	r.cache[m.ID] = e
+	r.order = append(r.order, m.ID)
+	r.stats.Requests++
+	r.mu.Unlock()
+
+	resp := r.handler(m)
+	resp.ID = m.ID
+	enc, err := resp.Encode()
+	if err != nil {
+		// An over-large response is a handler bug; answer with a status
+		// the client can surface instead of going silent.
+		enc, _ = (&Msg{Kind: m.Kind.Response(), ID: m.ID, Status: StatusProto}).Encode()
+	}
+	e.enc = enc
+	close(e.done)
+	r.pipe.Send(enc)
+}

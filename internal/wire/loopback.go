@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Dir is the direction of a loopback datagram.
+type Dir int
+
+const (
+	// ToServer is the client->server (request) direction.
+	ToServer Dir = iota
+	// ToClient is the server->client (response) direction.
+	ToClient
+)
+
+// Fault is a fault hook's verdict for one datagram.
+type Fault int
+
+const (
+	// FaultNone delivers the datagram unharmed.
+	FaultNone Fault = iota
+	// FaultDrop loses the datagram; the reliable layer's retry timer is the
+	// only way forward.
+	FaultDrop
+	// FaultCorrupt flips one bit before delivery; the receiver's CRC check
+	// detects it and drops the datagram, so a corruption behaves like a
+	// drop with an extra counted detection.
+	FaultCorrupt
+)
+
+// LoopbackConfig tunes the in-process transport.
+type LoopbackConfig struct {
+	// BaseLatency is charged to the virtual clock per datagram (default
+	// 300 ns, the scale of one EDM fabric traversal).
+	BaseLatency sim.Time
+	// PerByte is the serialization cost per datagram byte (default 80 ps,
+	// a 100 Gbps line rate).
+	PerByte sim.Time
+	// Fault, when non-nil, adjudicates every datagram. It runs with the
+	// loopback lock held and must not call back into the loopback.
+	Fault func(now sim.Time, dir Dir, p []byte) Fault
+}
+
+// LoopbackStats counts loopback datagram outcomes.
+type LoopbackStats struct {
+	Delivered uint64
+	Dropped   uint64
+	Corrupted uint64
+}
+
+// Loopback is an in-process transport pair implementing the same Pipe
+// interface as the UDP endpoints, for deterministic tests and the scenario
+// runner's live backend. Delivery is synchronous in the sender's goroutine,
+// and latency is charged to a virtual clock instead of wall time: with a
+// single-threaded (closed-loop) client, every measured latency is a pure
+// function of the datagram sizes exchanged, so runs are byte-reproducible.
+// Retransmission timers remain real-time; a retried datagram charges the
+// virtual clock once per attempt that is actually delivered or dropped,
+// which keeps virtual measurements deterministic even under injected loss.
+type Loopback struct {
+	mu     sync.Mutex
+	cfg    LoopbackConfig
+	now    sim.Time
+	recv   [2]func([]byte) // indexed by Dir: ToServer, ToClient
+	stats  LoopbackStats
+	closed bool
+}
+
+// NewLoopback builds the pair. Bind the two receive paths with BindServer
+// and BindClient before sending.
+func NewLoopback(cfg LoopbackConfig) *Loopback {
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 300 * sim.Nanosecond
+	}
+	if cfg.PerByte <= 0 {
+		cfg.PerByte = 80 * sim.Picosecond
+	}
+	return &Loopback{cfg: cfg}
+}
+
+// BindServer routes client->server datagrams (typically Responder.Deliver).
+func (l *Loopback) BindServer(recv func([]byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recv[ToServer] = recv
+}
+
+// BindClient routes server->client datagrams (typically Conn.Deliver).
+func (l *Loopback) BindClient(recv func([]byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recv[ToClient] = recv
+}
+
+// Now reads the virtual clock.
+func (l *Loopback) Now() sim.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// AdvanceTo moves the virtual clock forward to t (no-op if t is in the
+// past); the load generator uses it to honour trace arrival times.
+func (l *Loopback) AdvanceTo(t sim.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t > l.now {
+		l.now = t
+	}
+}
+
+// Stats returns a snapshot of the datagram counters.
+func (l *Loopback) Stats() LoopbackStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// end is one side's Pipe.
+type end struct {
+	l   *Loopback
+	dir Dir // direction this end sends in
+}
+
+// ClientPipe returns the client's Pipe (sends toward the server).
+func (l *Loopback) ClientPipe() Pipe { return &end{l, ToServer} }
+
+// ServerPipe returns the server's Pipe (sends toward the client).
+func (l *Loopback) ServerPipe() Pipe { return &end{l, ToClient} }
+
+func (e *end) Send(p []byte) error {
+	l := e.l
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.now += l.cfg.BaseLatency + sim.Time(len(p))*l.cfg.PerByte
+	verdict := FaultNone
+	if l.cfg.Fault != nil {
+		verdict = l.cfg.Fault(l.now, e.dir, p)
+	}
+	recv := l.recv[e.dir]
+	var out []byte
+	switch verdict {
+	case FaultDrop:
+		l.stats.Dropped++
+		l.mu.Unlock()
+		return nil
+	case FaultCorrupt:
+		l.stats.Corrupted++
+		l.stats.Delivered++
+		out = append([]byte(nil), p...)
+		out[len(out)/2] ^= 0x10
+	default:
+		l.stats.Delivered++
+		out = append([]byte(nil), p...)
+	}
+	l.mu.Unlock()
+	if recv != nil {
+		recv(out)
+	}
+	return nil
+}
+
+func (e *end) Close() error {
+	l := e.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPClient is the client-side Pipe over a connected UDP socket.
+type UDPClient struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialUDP connects a UDP socket to addr ("host:port"). Call Run with the
+// receive path (typically Conn.Deliver) to start the read loop.
+func DialUDP(addr string) (*UDPClient, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &UDPClient{conn: conn}, nil
+}
+
+// Run starts the read loop, routing every inbound datagram to deliver. It
+// returns when the socket closes.
+func (u *UDPClient) Run(deliver func([]byte)) {
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, err := u.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		deliver(append([]byte(nil), buf[:n]...))
+	}
+}
+
+// Send transmits one datagram.
+func (u *UDPClient) Send(p []byte) error {
+	_, err := u.conn.Write(p)
+	return err
+}
+
+// Close shuts the socket down, stopping the read loop.
+func (u *UDPClient) Close() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return nil
+	}
+	u.closed = true
+	return u.conn.Close()
+}
+
+// udpReply is the server's Pipe back to one remote client. It shares the
+// listening socket, so Close is a no-op.
+type udpReply struct {
+	conn *net.UDPConn
+	addr *net.UDPAddr
+}
+
+func (r *udpReply) Send(p []byte) error {
+	_, err := r.conn.WriteToUDP(p, r.addr)
+	return err
+}
+
+func (r *udpReply) Close() error { return nil }
+
+// sessionIdleTimeout bounds how long a silent session keeps its state (the
+// duplicate-suppression cache); a client that vanished without a BYE is
+// reclaimed after this long.
+const sessionIdleTimeout = 5 * time.Minute
+
+// udpSession is one remote client's state.
+type udpSession struct {
+	deliver  func([]byte)
+	token    string    // HELLO session token; guarded by the server mutex
+	lastSeen time.Time // guarded by the server mutex
+}
+
+// UDPServer owns a listening UDP socket and demultiplexes datagrams to
+// per-remote sessions. The accept callback is invoked once per new remote
+// address with a reply Pipe and returns that session's receive path
+// (typically a Responder.Deliver); each datagram is then handled on its own
+// goroutine, so sessions execute concurrently.
+//
+// Session lifecycle: a (CRC-valid) HELLO carrying a token different from
+// the current session's starts a fresh session — a restarted client
+// reusing its source port must not inherit the previous incarnation's
+// duplicate-suppression cache, which would replay stale responses to its
+// new message IDs. A HELLO with the *same* token is a retransmission of
+// the current session's handshake and is delivered into it unchanged (the
+// dedup cache replays the HELLO-ACK), so an in-flight duplicate cannot
+// wipe the cache out from under pipelined ops. Clients that send no token
+// get the conservative always-reset behaviour. A (CRC-valid) BYE retires
+// the session after delivery; a retransmitted BYE simply opens and
+// immediately closes a fresh one. Sessions idle past sessionIdleTimeout
+// are reclaimed by a janitor.
+type UDPServer struct {
+	conn   *net.UDPConn
+	accept func(remote string, reply Pipe) func([]byte)
+
+	mu       sync.Mutex
+	sessions map[string]*udpSession
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ListenUDP binds addr ("host:port"; port 0 picks a free one) and starts
+// serving. Use Addr for the bound address and Close to stop.
+func ListenUDP(addr string, accept func(remote string, reply Pipe) func([]byte)) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &UDPServer{conn: conn, accept: accept,
+		sessions: make(map[string]*udpSession), done: make(chan struct{})}
+	s.wg.Add(2)
+	go s.readLoop()
+	go s.janitor()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *UDPServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// sessionControl classifies the rare session-lifecycle datagrams and
+// extracts the HELLO's session token. The kind byte sits at a fixed
+// offset, so the cheap peek gates the full (CRC-validating) decode — a
+// corrupted datagram must not reset or retire a session.
+func sessionControl(p []byte) (hello, bye bool, token string) {
+	if len(p) < headerBytes+crcBytes {
+		return false, false, ""
+	}
+	k := Kind(p[1])
+	if k != KindHello && k != KindBye {
+		return false, false, ""
+	}
+	m, err := Decode(p)
+	if err != nil {
+		return false, false, ""
+	}
+	return m.Kind == KindHello, m.Kind == KindBye, string(m.Data)
+}
+
+func (s *UDPServer) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p := append([]byte(nil), buf[:n]...)
+		hello, bye, token := sessionControl(p)
+		key := raddr.String()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		sess, ok := s.sessions[key]
+		// A HELLO resets the session unless it carries the current
+		// session's token (then it is a handshake retransmission).
+		reset := hello && (!ok || token == "" || token != sess.token)
+		if !ok || reset {
+			sess = &udpSession{
+				deliver: s.accept(key, &udpReply{conn: s.conn, addr: cloneUDPAddr(raddr)}),
+				token:   token,
+			}
+			s.sessions[key] = sess
+		}
+		sess.lastSeen = time.Now()
+		if bye {
+			// Retired after this datagram's delivery below; the BYE-ACK
+			// goes out via the session's own reply pipe regardless.
+			delete(s.sessions, key)
+		}
+		s.mu.Unlock()
+		if sess.deliver == nil {
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.deliver(p)
+		}()
+	}
+}
+
+// janitor reclaims sessions idle past sessionIdleTimeout.
+func (s *UDPServer) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(sessionIdleTimeout / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-sessionIdleTimeout)
+		s.mu.Lock()
+		for key, sess := range s.sessions {
+			if sess.lastSeen.Before(cutoff) {
+				delete(s.sessions, key)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// cloneUDPAddr copies raddr, whose backing storage the read loop reuses.
+func cloneUDPAddr(a *net.UDPAddr) *net.UDPAddr {
+	return &net.UDPAddr{IP: append(net.IP(nil), a.IP...), Port: a.Port, Zone: a.Zone}
+}
+
+// Sessions reports the number of live sessions.
+func (s *UDPServer) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Forget drops the session state for one remote (after a BYE, so a future
+// HELLO from the same address starts fresh).
+func (s *UDPServer) Forget(remote string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, remote)
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *UDPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
