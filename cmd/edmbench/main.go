@@ -4,9 +4,12 @@
 //
 //	edmbench -experiment table1|fig5|fig6|fig7|fig8a|fig8b|ablations|incast|all
 //	         [-nodes N] [-ops N] [-seed N]
+//	edmbench -snapshot BENCH_1.json [-baseline BENCH_0.json]
 //
 // Output is textual rows matching the paper's presentation; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. -snapshot instead runs
+// the wire/rmem Go benchmarks and records them as JSON (the BENCH_N.json
+// perf trajectory), optionally printing deltas against a baseline snapshot.
 package main
 
 import (
@@ -25,7 +28,17 @@ func main() {
 	ops := flag.Int("ops", 20000, "operations per simulation run")
 	seed := flag.Uint64("seed", 1, "trace seed")
 	fig7ops := flag.Int("fig7ops", 400, "YCSB operations per fig7 ratio")
+	snapshot := flag.String("snapshot", "", "run the wire/rmem benchmarks and write a JSON snapshot to this file")
+	baseline := flag.String("baseline", "", "with -snapshot: print deltas against this earlier snapshot")
 	flag.Parse()
+
+	if *snapshot != "" {
+		if err := runSnapshot(*snapshot, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "edmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Fig8Config{Nodes: *nodes, Bandwidth: 100, OpsPerRun: *ops, Seed: *seed}
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchPackages are the hot-path packages whose Go benchmarks the snapshot
+// captures: the wire codec/transport and the rmem client/server round trip.
+var benchPackages = []string{"repro/internal/wire", "repro/internal/rmem"}
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name    string             `json:"name"` // e.g. BenchmarkEncode/64B (GOMAXPROCS suffix stripped)
+	Pkg     string             `json:"pkg"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op": 312.5
+}
+
+// Snapshot is the BENCH_N.json schema: enough to compare perf trajectory
+// across PRs without re-running older trees.
+type Snapshot struct {
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// runSnapshot benchmarks the hot-path packages, writes the snapshot to
+// outPath, and (with a baseline) prints the delta table.
+func runSnapshot(outPath, baselinePath string) error {
+	cmd := exec.Command("go", append([]string{"test", "-run", "^$", "-bench", ".", "-benchmem"}, benchPackages...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("edmbench: bench run: %w", err)
+	}
+	snap := Snapshot{Go: runtime.Version(), Benchmarks: parseBench(string(out))}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("edmbench: no benchmark lines in go test output")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(snap.Benchmarks), outPath)
+	if baselinePath == "" {
+		return nil
+	}
+	old, err := loadSnapshot(baselinePath)
+	if err != nil {
+		return err
+	}
+	return printDelta(old, snap)
+}
+
+// parseBench extracts benchmark results from `go test -bench` output. The
+// text format interleaves per-package headers (`pkg: repro/internal/wire`)
+// with result lines (`BenchmarkEncode/64B-8   123456   312.5 ns/op   ...`).
+func parseBench(out string) []Benchmark {
+	var benches []Benchmark
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS so snapshots from different machines
+		// key identically.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Pkg: pkg, Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		benches = append(benches, b)
+	}
+	sort.Slice(benches, func(i, j int) bool {
+		if benches[i].Pkg != benches[j].Pkg {
+			return benches[i].Pkg < benches[j].Pkg
+		}
+		return benches[i].Name < benches[j].Name
+	})
+	return benches
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("edmbench: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// printDelta compares ns/op and allocs/op against a baseline snapshot.
+func printDelta(old, cur Snapshot) error {
+	byKey := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byKey[b.Pkg+" "+b.Name] = b
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Benchmark\tns/op\tbaseline\tdelta\tallocs/op\tbaseline")
+	for _, b := range cur.Benchmarks {
+		o, ok := byKey[b.Pkg+" "+b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.1f\t-\tnew\t%.0f\t-\n", b.Name, b.Metrics["ns/op"], b.Metrics["allocs/op"])
+			continue
+		}
+		ns, ons := b.Metrics["ns/op"], o.Metrics["ns/op"]
+		delta := "-"
+		if ons > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(ns-ons)/ons)
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%s\t%.0f\t%.0f\n",
+			b.Name, ns, ons, delta, b.Metrics["allocs/op"], o.Metrics["allocs/op"])
+	}
+	return w.Flush()
+}

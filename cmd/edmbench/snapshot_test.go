@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/wire
+cpu: Some CPU @ 2.00GHz
+BenchmarkEncode/64B-8         	 3000000	       312.5 ns/op	 204.80 MB/s	      96 B/op	       2 allocs/op
+BenchmarkDecode/64B-8         	 2000000	       501.0 ns/op	     160 B/op	       3 allocs/op
+PASS
+ok  	repro/internal/wire	3.2s
+pkg: repro/internal/rmem
+BenchmarkClientRoundTrip-8    	  500000	      2100 ns/op	     512 B/op	       9 allocs/op
+PASS
+ok  	repro/internal/rmem	1.9s
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleBenchOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Sorted by (pkg, name): rmem first.
+	b := got[0]
+	if b.Pkg != "repro/internal/rmem" || b.Name != "BenchmarkClientRoundTrip" {
+		t.Fatalf("first = %s %s", b.Pkg, b.Name)
+	}
+	if b.Iters != 500000 {
+		t.Errorf("iters = %d", b.Iters)
+	}
+	if b.Metrics["ns/op"] != 2100 || b.Metrics["allocs/op"] != 9 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	// Within a package, names sort: Decode before Encode.
+	if got[1].Name != "BenchmarkDecode/64B" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %s", got[1].Name)
+	}
+	enc := got[2]
+	if enc.Name != "BenchmarkEncode/64B" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %s", enc.Name)
+	}
+	if enc.Metrics["MB/s"] != 204.8 || enc.Metrics["ns/op"] != 312.5 {
+		t.Errorf("encode metrics = %v", enc.Metrics)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench("goos: linux\nPASS\nok x 1s\n"); len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(got))
+	}
+	// A benchmark line with a non-numeric iteration count is skipped.
+	if got := parseBench("BenchmarkBad-8 abc 1 ns/op\n"); len(got) != 0 {
+		t.Fatalf("accepted malformed line: %+v", got)
+	}
+}

@@ -1,0 +1,109 @@
+// Command edmlint runs the repo's project-specific static-analysis suite
+// (internal/lint) over package patterns and prints file:line:col diagnostics.
+// It exits 0 when clean, 1 when there are findings, 2 on bad usage — so a CI
+// step is just `go run ./cmd/edmlint ./...`.
+//
+// Usage:
+//
+//	edmlint ./...                 # the whole module
+//	edmlint -only walltime ./...  # one analyzer
+//	edmlint -list                 # describe the suite
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+)
+
+func main() {
+	cli.Exit("edmlint", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: patterns in, diagnostics out.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("edmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "run only these analyzers (comma-separated)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return cli.ErrFlagParse
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[name]
+			if a == nil {
+				return cli.Usagef("unknown analyzer %q (see -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		return err
+	}
+	dirs, err := lint.ExpandPatterns(mod, patterns)
+	if err != nil {
+		return err
+	}
+	pkgs, err := lint.LoadPackages(mod, dirs)
+	if err != nil {
+		return err
+	}
+
+	total := 0
+	for _, p := range pkgs {
+		for _, f := range lint.Check(p, analyzers) {
+			total++
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n",
+				relPath(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if total > 0 {
+		return fmt.Errorf("%d finding(s)", total)
+	}
+	return nil
+}
+
+// relPath shortens filenames to be relative to the working directory when
+// possible, matching how go vet prints positions.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+}
+
+func TestBadFlagIsFlagParse(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-no-such-flag"}, &out, &errb)
+	if !errors.Is(err, cli.ErrFlagParse) {
+		t.Fatalf("bad flag: got %v, want ErrFlagParse", err)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-only", "nosuch"}, &out, &errb)
+	var ue cli.UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("-only nosuch: got %v, want UsageError", err)
+	}
+}
+
+func TestListDescribesSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, name := range []string{"walltime", "globalrand", "lockcheck", "hotpath"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestViolatingFixtureFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-only", "walltime", "../../internal/lint/testdata/walltime"}, &out, &errb)
+	if err == nil {
+		t.Fatalf("violating fixture: expected findings, got none\n%s", out.String())
+	}
+	if errors.Is(err, cli.ErrFlagParse) {
+		t.Fatalf("violating fixture: got flag-parse error")
+	}
+	var ue cli.UsageError
+	if errors.As(err, &ue) {
+		t.Fatalf("violating fixture: got usage error %v, want findings (exit 1)", err)
+	}
+	if !strings.Contains(out.String(), "[walltime]") {
+		t.Errorf("diagnostics missing [walltime] tag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "bad.go:") {
+		t.Errorf("diagnostics missing file:line position:\n%s", out.String())
+	}
+}
+
+func TestCleanFixturePasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"../../internal/lint/testdata/clean"}, &out, &errb); err != nil {
+		t.Fatalf("clean fixture: %v\n%s", err, out.String())
+	}
+}
+
+// TestRepoClean is the acceptance gate: the suite must pass over the whole
+// module at HEAD. The pattern walks from the module root (the test's working
+// directory is cmd/edmlint).
+func TestRepoClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"../../..."}, &out, &errb); err != nil {
+		t.Fatalf("edmlint ./... not clean: %v\n%s", err, out.String())
+	}
+}

@@ -1,10 +1,11 @@
 package hwsim
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/workload"
 )
 
 func TestOrderedListBasics(t *testing.T) {
@@ -114,7 +115,7 @@ func TestOrderedListSortProperty(t *testing.T) {
 
 // Property: the list agrees with sort.SliceStable on (key, arrival) order.
 func TestOrderedListStableAgainstReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := workload.NewPartition(42).Stream("hwsim-orderedlist")
 	for trial := 0; trial < 50; trial++ {
 		n := rng.Intn(64) + 1
 		type item struct {

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar:
+//
+//	//edmlint:allow <check>[,<check>...] <reason>
+//	//edmlint:hotpath [note]
+//
+// An allow directive suppresses findings of the named checks, and its scope
+// depends on where it sits:
+//
+//   - before the package clause (detached header comment): the whole file;
+//   - in a top-level declaration's doc comment: that declaration;
+//   - anywhere else: the directive's own line and the line below it (so it
+//     works both trailing the offending code and standalone above it).
+//
+// The reason is mandatory — an allow without one is itself a finding, as is
+// an allow naming an unknown check. //edmlint:hotpath marks the function
+// whose doc comment carries it as a hot path for the hotpath analyzer.
+const directivePrefix = "edmlint:"
+
+// declSpan is the line range one declaration-scoped allow covers.
+type declSpan struct {
+	file     string
+	from, to int
+	checks   map[string]bool
+}
+
+// Directives indexes one package's edmlint comments.
+type Directives struct {
+	fileAllow map[string]map[string]bool         // filename -> checks
+	lineAllow map[string]map[int]map[string]bool // filename -> line -> checks
+	declSpans []declSpan
+	hot       map[*ast.FuncDecl]bool
+	// Bad collects malformed directives (missing reason, unknown check,
+	// misplaced hotpath); they are reported unconditionally.
+	Bad []Finding
+}
+
+// Allowed reports whether a finding of check at pos is suppressed.
+func (d *Directives) Allowed(check string, pos token.Position) bool {
+	if d.fileAllow[pos.Filename][check] {
+		return true
+	}
+	if d.lineAllow[pos.Filename][pos.Line][check] {
+		return true
+	}
+	for _, s := range d.declSpans {
+		if s.file == pos.Filename && pos.Line >= s.from && pos.Line <= s.to && s.checks[check] {
+			return true
+		}
+	}
+	return false
+}
+
+// Hot reports whether fn carries an //edmlint:hotpath directive.
+func (d *Directives) Hot(fn *ast.FuncDecl) bool { return d.hot[fn] }
+
+// parseDirectives scans every comment in the package.
+func parseDirectives(p *Package) *Directives {
+	d := &Directives{
+		fileAllow: make(map[string]map[string]bool),
+		lineAllow: make(map[string]map[int]map[string]bool),
+		hot:       make(map[*ast.FuncDecl]bool),
+	}
+	known := analyzerNames()
+	for _, f := range p.Files {
+		// Map doc comment groups to the declarations they document, so a
+		// directive in a doc comment scopes to the declaration.
+		docOf := make(map[*ast.CommentGroup]ast.Decl)
+		hotOwner := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Doc != nil {
+					docOf[dd.Doc] = dd
+					hotOwner[dd.Doc] = dd
+				}
+			case *ast.GenDecl:
+				if dd.Doc != nil {
+					docOf[dd.Doc] = dd
+				}
+			}
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				verb, rest := splitWord(text)
+				switch verb {
+				case "hotpath":
+					fn := hotOwner[group]
+					if fn == nil {
+						d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+							Message: "//edmlint:hotpath must sit in a function's doc comment"})
+						continue
+					}
+					d.hot[fn] = true
+				case "allow":
+					checkList, reason := splitWord(rest)
+					if checkList == "" {
+						d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+							Message: "//edmlint:allow needs a check name and a reason"})
+						continue
+					}
+					if strings.TrimSpace(reason) == "" {
+						d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+							Message: fmt.Sprintf("//edmlint:allow %s needs a reason", checkList)})
+						continue
+					}
+					checks := make(map[string]bool)
+					bad := false
+					for _, name := range strings.Split(checkList, ",") {
+						if !known[name] {
+							d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+								Message: fmt.Sprintf("//edmlint:allow names unknown check %q", name)})
+							bad = true
+							continue
+						}
+						checks[name] = true
+					}
+					if bad && len(checks) == 0 {
+						continue
+					}
+					d.record(p, f, group, docOf[group], pos, checks)
+				default:
+					d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown directive //edmlint:%s", verb)})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// record files one allow directive under the right scope.
+func (d *Directives) record(p *Package, f *ast.File, group *ast.CommentGroup, decl ast.Decl, pos token.Position, checks map[string]bool) {
+	fname := pos.Filename
+	switch {
+	case decl != nil:
+		d.declSpans = append(d.declSpans, declSpan{
+			file:   fname,
+			from:   p.Fset.Position(decl.Pos()).Line,
+			to:     p.Fset.Position(decl.End()).Line,
+			checks: checks,
+		})
+	case group.End() < f.Package:
+		if d.fileAllow[fname] == nil {
+			d.fileAllow[fname] = make(map[string]bool)
+		}
+		for c := range checks {
+			d.fileAllow[fname][c] = true
+		}
+	default:
+		if d.lineAllow[fname] == nil {
+			d.lineAllow[fname] = make(map[int]map[string]bool)
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			if d.lineAllow[fname][line] == nil {
+				d.lineAllow[fname][line] = make(map[string]bool)
+			}
+			for c := range checks {
+				d.lineAllow[fname][line][c] = true
+			}
+		}
+	}
+}
+
+// directiveText strips the comment marker and reports whether the comment
+// is an edmlint directive. Directives must be line comments with no space
+// after // (the Go convention for machine-readable comments).
+func directiveText(comment string) (string, bool) {
+	if !strings.HasPrefix(comment, "//"+directivePrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(comment, "//"+directivePrefix), true
+}
+
+// splitWord splits off the first space-separated word.
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand (and /v2) package-level functions backed
+// by the process-global source. Constructing an explicitly seeded generator
+// (rand.New(rand.NewSource(seed))) is not in this set — outside
+// deterministic packages that is legal, if discouraged in favour of
+// workload.Rand.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+// Globalrand enforces the repo's randomness discipline: every random draw
+// in deterministic code comes from a named workload.Partition stream, so
+// adding a draw to one subsystem never perturbs another's sequence. The
+// analyzer forbids importing math/rand at all in deterministic packages,
+// and calling its global-source top-level functions anywhere.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid the global math/rand source; use workload.Partition streams",
+	Run: func(p *Package, _ *Directives) []Finding {
+		var out []Finding
+		det := p.deterministic()
+		for _, f := range p.Files {
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				name := importName(f, path)
+				if name == "" || name == "_" {
+					continue
+				}
+				if name == "." {
+					for _, imp := range f.Imports {
+						if imp.Name != nil && imp.Name.Name == "." {
+							out = append(out, Finding{
+								Pos:      p.Fset.Position(imp.Pos()),
+								Analyzer: "globalrand",
+								Message:  "dot-import of " + path + " defeats randomness analysis; import it qualified",
+							})
+						}
+					}
+					continue
+				}
+				if det {
+					for _, imp := range f.Imports {
+						if imp.Path.Value == `"`+path+`"` {
+							out = append(out, Finding{
+								Pos:      p.Fset.Position(imp.Pos()),
+								Analyzer: "globalrand",
+								Message:  path + " import in deterministic package; derive a workload.Rand from a named workload.Partition stream instead",
+							})
+						}
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || id.Name != name || !globalRandFuncs[sel.Sel.Name] {
+						return true
+					}
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(call.Pos()),
+						Analyzer: "globalrand",
+						Message: fmt.Sprintf("global math/rand source via %s.%s; draw from a named workload.Partition stream instead",
+							name, sel.Sel.Name),
+					})
+					return true
+				})
+			}
+		}
+		return out
+	},
+}

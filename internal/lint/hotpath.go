@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// perCallTimers are the time functions that allocate a runtime timer per
+// invocation. On a path that runs once per message, each of these is one
+// heap object plus one runtime.timers entry per op.
+var perCallTimers = map[string]bool{
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"After": true, "Tick": true,
+}
+
+// Hotpath flags allocation- and syscall-per-op patterns in functions whose
+// doc comment carries //edmlint:hotpath. The patterns are the ones that have
+// actually shown up in this repo's per-message paths:
+//
+//   - fmt.* calls (interface boxing + formatting per op) — exempt inside a
+//     return statement, where they build cold-path errors;
+//   - &T{...} composite literals, which escape to the heap when the pointer
+//     outlives the frame;
+//   - make(map/chan) and make([]T, 0) with no useful capacity;
+//   - append([]T(nil), src...) defensive copies;
+//   - per-call timers (time.NewTimer and friends).
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation/syscall-per-op patterns in //edmlint:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Package, d *Directives) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		fmtName := importName(f, "fmt")
+		timeName := importName(f, "time")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !d.Hot(fn) {
+				continue
+			}
+			out = append(out, checkHot(p, fn, fmtName, timeName)...)
+		}
+	}
+	return out
+}
+
+// span is a position range, used to mark return statements so error
+// formatting on the way out is not flagged.
+type span struct{ from, to token.Pos }
+
+func checkHot(p *Package, fn *ast.FuncDecl, fmtName, timeName string) []Finding {
+	var returns []span
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, span{r.Pos(), r.End()})
+		}
+		return true
+	})
+	inReturn := func(pos token.Pos) bool {
+		for _, s := range returns {
+			if pos >= s.from && pos <= s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	finding := func(pos token.Pos, format string, args ...any) Finding {
+		return Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "hotpath",
+			Message:  fmt.Sprintf(format, args...) + " in hot path " + fn.Name.Name,
+		}
+	}
+
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := node.X.(*ast.CompositeLit); ok {
+					out = append(out, finding(node.Pos(), "&composite literal escapes to the heap"))
+				}
+			}
+		case *ast.CallExpr:
+			sel, isSel := node.Fun.(*ast.SelectorExpr)
+			if isSel {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if fmtName != "" && id.Name == fmtName && !inReturn(node.Pos()) {
+						out = append(out, finding(node.Pos(), "fmt.%s allocates per op", sel.Sel.Name))
+					}
+					if timeName != "" && id.Name == timeName && perCallTimers[sel.Sel.Name] {
+						out = append(out, finding(node.Pos(), "time.%s allocates a timer per op", sel.Sel.Name))
+					}
+				}
+				return true
+			}
+			id, ok := node.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				out = append(out, checkMake(p, fn, node)...)
+			case "append":
+				// append([]T(nil), src...): a fresh defensive copy per call.
+				if len(node.Args) >= 2 {
+					if conv, ok := node.Args[0].(*ast.CallExpr); ok && len(conv.Args) == 1 {
+						if lit, ok := conv.Args[0].(*ast.Ident); ok && lit.Name == "nil" {
+							if _, isArr := conv.Fun.(*ast.ArrayType); isArr {
+								out = append(out, finding(node.Pos(), "append([]T(nil), ...) copies per op"))
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMake flags make calls that allocate with no useful capacity: maps and
+// channels built fresh per op, and zero-length zero-cap slices that will grow
+// by reallocation.
+func checkMake(p *Package, fn *ast.FuncDecl, call *ast.CallExpr) []Finding {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	f := func(format string) []Finding {
+		return []Finding{{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "hotpath",
+			Message:  format + " in hot path " + fn.Name.Name,
+		}}
+	}
+	switch call.Args[0].(type) {
+	case *ast.MapType:
+		if len(call.Args) == 1 {
+			return f("make(map) without size hint allocates per op")
+		}
+	case *ast.ChanType:
+		if len(call.Args) == 1 {
+			return f("make(chan) per op; reuse a channel or pool")
+		}
+	case *ast.ArrayType:
+		if len(call.Args) == 2 {
+			if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+				return f("make([]T, 0) without capacity grows by reallocation")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package lint is the repo's project-specific static-analysis suite
+// (edmlint). The core promises of this codebase — byte-deterministic seeded
+// scenario reports, exactly-once RMW under the slab lock, an allocation-lean
+// live hot path — are conventions, and this package turns them into checks:
+//
+//   - walltime: deterministic packages must not read the wall clock; all
+//     time flows through the virtual clock (sim.Time).
+//   - globalrand: randomness must come from named workload.Partition
+//     streams, never the process-global math/rand source.
+//   - lockcheck: struct fields annotated `// guarded by <mu>` are only
+//     accessed in functions that lock <mu> (flow-insensitive).
+//   - hotpath: functions annotated //edmlint:hotpath stay free of known
+//     allocation/syscall-per-op patterns.
+//
+// The suite is stdlib-only (go/parser + go/ast), matching the module's bare
+// go.mod. Findings are suppressed with `//edmlint:allow <check> <reason>`
+// directives (see directives.go); cmd/edmlint is the driver.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed package: every file of one package name in one
+// directory (so a directory's external _test package is its own Package).
+type Package struct {
+	// ModulePath is the module's import-path prefix (e.g. "repro").
+	ModulePath string
+	// Path is the package import path (e.g. "repro/internal/wire").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// deterministic reports whether the package is held to the virtual-clock /
+// seeded-randomness discipline. Commands and examples are exempt: they sit
+// at the process boundary where wall time is inherent.
+func (p *Package) deterministic() bool {
+	if p.Path == p.ModulePath {
+		return true // module root (the paper-artifact benchmarks)
+	}
+	rel := strings.TrimPrefix(p.Path, p.ModulePath+"/")
+	return !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/")
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one check over a parsed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package, d *Directives) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Walltime, Globalrand, Lockcheck, Hotpath}
+}
+
+// analyzerNames is the set of valid names an allow directive may target.
+func analyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Check runs the given analyzers over p, applies the package's suppression
+// directives, and returns the surviving findings plus any malformed
+// directives, sorted by position. Malformed directives are findings in
+// their own right and cannot be suppressed.
+func Check(p *Package, analyzers []*Analyzer) []Finding {
+	d := parseDirectives(p)
+	out := append([]Finding(nil), d.Bad...)
+	for _, a := range analyzers {
+		for _, f := range a.Run(p, d) {
+			if !d.Allowed(a.Name, f.Pos) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// importName returns the local name under which file imports path, or ""
+// if it does not. A dot import returns "."; a blank import returns "_".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		// Default name: the last path element.
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// importNames returns every local import name bound in file, for telling
+// package-qualified selectors apart from field accesses.
+func importNames(f *ast.File) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		if imp.Name != nil {
+			names[imp.Name.Name] = true
+			continue
+		}
+		p := strings.Trim(imp.Path.Value, `"`)
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		names[p] = true
+	}
+	return names
+}

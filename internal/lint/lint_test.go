@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses one testdata package through the real loader.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	pkgs, err := LoadPackages(mod, []string{filepath.Join("testdata", name)})
+	if err != nil {
+		t.Fatalf("LoadPackages(%s): %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// wants collects the fixture's expected diagnostics: every `// want "sub"`
+// comment expects one finding on its line whose message contains sub.
+func wants(p *Package) map[string][]string {
+	out := make(map[string][]string) // "file:line" -> substrings
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := p.Fset.Position(c.Pos())
+					key := filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
+					out[key] = append(out[key], m[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// checkFixture runs one analyzer over a fixture and matches findings against
+// the want comments, both directions.
+func checkFixture(t *testing.T, fixture string, a *Analyzer) {
+	t.Helper()
+	p := loadFixture(t, fixture)
+	expected := wants(p)
+	for _, f := range Check(p, []*Analyzer{a}) {
+		key := filepath.Base(f.Pos.Filename) + ":" + itoa(f.Pos.Line)
+		subs := expected[key]
+		matched := -1
+		for i, sub := range subs {
+			if strings.Contains(f.Message, sub) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding at %s: [%s] %s", key, f.Analyzer, f.Message)
+			continue
+		}
+		expected[key] = append(subs[:matched], subs[matched+1:]...)
+		if len(expected[key]) == 0 {
+			delete(expected, key)
+		}
+	}
+	for key, subs := range expected {
+		for _, sub := range subs {
+			t.Errorf("missing finding at %s containing %q", key, sub)
+		}
+	}
+}
+
+func TestWalltimeFixture(t *testing.T)   { checkFixture(t, "walltime", Walltime) }
+func TestGlobalrandFixture(t *testing.T) { checkFixture(t, "globalrand", Globalrand) }
+func TestLockcheckFixture(t *testing.T)  { checkFixture(t, "lockcheck", Lockcheck) }
+func TestHotpathFixture(t *testing.T)    { checkFixture(t, "hotpath", Hotpath) }
+
+// TestWalltimeSkipsCmdPackages rebinds the walltime fixture under cmd/ and
+// expects the analyzer to stand down entirely.
+func TestWalltimeSkipsCmdPackages(t *testing.T) {
+	p := loadFixture(t, "walltime")
+	p.Path = p.ModulePath + "/cmd/fixture"
+	if got := Check(p, []*Analyzer{Walltime}); len(got) != 0 {
+		t.Fatalf("cmd package: got %d findings, want 0: %v", len(got), got)
+	}
+}
+
+// TestGlobalrandOutsideDeterministic rebinds the globalrand fixture under
+// cmd/: the import ban lifts, but global-source calls stay banned.
+func TestGlobalrandOutsideDeterministic(t *testing.T) {
+	p := loadFixture(t, "globalrand")
+	p.Path = p.ModulePath + "/cmd/fixture"
+	got := Check(p, []*Analyzer{Globalrand})
+	if len(got) != 2 {
+		t.Fatalf("cmd package: got %d findings, want 2 (calls only): %v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Message, "global math/rand source") {
+			t.Errorf("unexpected finding in cmd package: %s", f.Message)
+		}
+	}
+}
+
+// parseSource builds an in-memory Package from one file of source.
+func parseSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "inline.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{ModulePath: "repro", Path: "repro/internal/inline", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "allow without reason",
+			src:  "package x\n\nfunc f() {\n\t//edmlint:allow walltime\n}\n",
+			want: "needs a reason",
+		},
+		{
+			name: "allow without anything",
+			src:  "package x\n\nfunc f() {\n\t//edmlint:allow\n}\n",
+			want: "needs a check name and a reason",
+		},
+		{
+			name: "unknown check",
+			src:  "package x\n\nfunc f() {\n\t//edmlint:allow sloth it naps\n}\n",
+			want: `unknown check "sloth"`,
+		},
+		{
+			name: "hotpath off a function",
+			src:  "package x\n\nfunc f() {\n\t//edmlint:hotpath\n}\n",
+			want: "must sit in a function's doc comment",
+		},
+		{
+			name: "unknown verb",
+			src:  "package x\n\n//edmlint:frobnicate\nfunc f() {}\n",
+			want: "unknown directive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := parseSource(t, tc.src)
+			got := Check(p, Analyzers())
+			found := false
+			for _, f := range got {
+				if f.Analyzer == "directive" && strings.Contains(f.Message, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no directive finding containing %q in %v", tc.want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module locates the enclosing Go module: its root directory and path.
+type Module struct {
+	Dir  string
+	Path string
+}
+
+// FindModule walks up from dir to the nearest go.mod and reads its module
+// path. Parsing the single `module` line by hand keeps the loader free of
+// golang.org/x/mod (stdlib-only constraint).
+func FindModule(dir string) (*Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					path := strings.TrimSpace(rest)
+					if path == "" {
+						break
+					}
+					return &Module{Dir: dir, Path: strings.Trim(path, `"`)}, nil
+				}
+			}
+			return nil, fmt.Errorf("go.mod in %s has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ExpandPatterns resolves command-line package patterns to directories.
+// "./..." (or "dir/...") walks recursively, skipping testdata, vendor, .git
+// and hidden directories — fixture files under testdata do not build as part
+// of the module. Naming a testdata directory explicitly still loads it,
+// which is how edmlint's own tests point the driver at violating fixtures.
+func ExpandPatterns(mod *Module, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = filepath.Clean(strings.TrimSuffix(root, string(filepath.Separator)))
+		if root == "" || root == "."+string(filepath.Separator) {
+			root = "."
+		}
+		if !recursive {
+			if hasGoFiles(pat) {
+				add(filepath.Clean(pat))
+				continue
+			}
+			return nil, fmt.Errorf("no Go files in %s", pat)
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPackages parses every .go file (tests included) in each directory and
+// groups them by package clause, so a directory with an external _test
+// package yields two Packages. Comments are kept: directives live there.
+func LoadPackages(mod *Module, dirs []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		byName := make(map[string][]*ast.File)
+		var names []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			name := file.Name.Name
+			if byName[name] == nil {
+				names = append(names, name)
+			}
+			byName[name] = append(byName[name], file)
+		}
+		importPath, err := dirImportPath(mod, dir)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pkgs = append(pkgs, &Package{
+				ModulePath: mod.Path,
+				Path:       importPath,
+				Fset:       fset,
+				Files:      byName[name],
+			})
+		}
+	}
+	return pkgs, nil
+}
+
+// dirImportPath maps a directory to its import path within the module.
+func dirImportPath(mod *Module, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(mod.Dir, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return mod.Path, nil
+	}
+	return mod.Path + "/" + filepath.ToSlash(rel), nil
+}

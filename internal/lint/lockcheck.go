@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// guardedRe matches the annotation grammar in a field comment:
+//
+//	mu sync.Mutex
+//	n  int // guarded by mu
+//
+// The guard name is either a mutex field (the enclosing function must call
+// <mu>.Lock or <mu>.RLock somewhere in its body — flow-insensitive) or the
+// literal word `caller`, meaning the field may only be touched from the
+// owning struct's own methods (for types like memctl.Controller that are
+// serialized one level up).
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardCaller is the special guard name for externally synchronized state.
+const guardCaller = "caller"
+
+// lockedSuffix marks functions whose contract is "caller holds the lock".
+const lockedSuffix = "Locked"
+
+// Lockcheck verifies annotated lock discipline: every intra-package access
+// to a field commented `// guarded by <mu>` must occur in a function that
+// locks <mu> (or is named *Locked, the caller-holds-it convention). The
+// check is flow-insensitive by design — it asks "does this function ever
+// take the lock", not "is it held at this statement" — which is cheap,
+// stdlib-only, and catches the real bug class: a new accessor that forgot
+// the mutex entirely.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "verify accesses to `guarded by` fields happen under their lock",
+	Run:  runLockcheck,
+}
+
+func runLockcheck(p *Package, _ *Directives) []Finding {
+	// Pass 1: collect annotations across the package.
+	structGuards := make(map[string]map[string]string) // struct -> field -> mu
+	fieldMus := make(map[string]map[string]bool)       // field -> set of mus
+	fieldOwners := make(map[string]map[string]bool)    // field -> set of structs
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if structGuards[ts.Name.Name] == nil {
+						structGuards[ts.Name.Name] = make(map[string]string)
+					}
+					structGuards[ts.Name.Name][name.Name] = mu
+					if fieldMus[name.Name] == nil {
+						fieldMus[name.Name] = make(map[string]bool)
+						fieldOwners[name.Name] = make(map[string]bool)
+					}
+					fieldMus[name.Name][mu] = true
+					fieldOwners[name.Name][ts.Name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(fieldMus) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every function's accesses.
+	var out []Finding
+	for _, f := range p.Files {
+		pkgNames := importNames(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, checkFunc(p, fn, pkgNames, structGuards, fieldMus, fieldOwners)...)
+		}
+	}
+	return out
+}
+
+// guardName extracts the guard from a field's doc or trailing comment.
+func guardName(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// recvInfo extracts a method's receiver name and base type name.
+func recvInfo(fn *ast.FuncDecl) (name, typ string) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return "", ""
+	}
+	r := fn.Recv.List[0]
+	if len(r.Names) > 0 {
+		name = r.Names[0].Name
+	}
+	t := r.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[K]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typ = id.Name
+	}
+	return name, typ
+}
+
+// locksTaken collects the final names of mutexes the function body locks
+// (c.mu.Lock() and mu.RLock() both record "mu"), including inside closures.
+func locksTaken(body ast.Node) map[string]bool {
+	locks := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locks[x.Name] = true
+		case *ast.SelectorExpr:
+			locks[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locks
+}
+
+func checkFunc(p *Package, fn *ast.FuncDecl, pkgNames map[string]bool,
+	structGuards map[string]map[string]string,
+	fieldMus map[string]map[string]bool,
+	fieldOwners map[string]map[string]bool) []Finding {
+
+	if strings.HasSuffix(fn.Name.Name, lockedSuffix) {
+		return nil // contract: the caller holds the lock
+	}
+	recvName, recvType := recvInfo(fn)
+	locks := locksTaken(fn.Body)
+
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := sel.Sel.Name
+		id, isIdent := sel.X.(*ast.Ident)
+		if isIdent && pkgNames[id.Name] {
+			return true // package-qualified selector, not a field access
+		}
+
+		var mus map[string]bool
+		var owners map[string]bool
+		switch {
+		case isIdent && recvName != "" && id.Name == recvName && structGuards[recvType][field] != "":
+			mu := structGuards[recvType][field]
+			mus = map[string]bool{mu: true}
+			owners = map[string]bool{recvType: true}
+		case isIdent && fieldMus[field] != nil:
+			// Name-based fallback: the base is some other identifier, so
+			// treat any annotated field of this name as a match.
+			mus = fieldMus[field]
+			owners = fieldOwners[field]
+		default:
+			return true
+		}
+
+		if mus[guardCaller] {
+			if owners[recvType] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(sel.Pos()),
+				Analyzer: "lockcheck",
+				Message: fmt.Sprintf("field %s is guarded by caller (owner-methods only) but %s is not a method of its struct",
+					field, fn.Name.Name),
+			})
+			return true
+		}
+		for mu := range mus {
+			if locks[mu] {
+				return true
+			}
+		}
+		mu := oneKey(mus)
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(sel.Pos()),
+			Analyzer: "lockcheck",
+			Message: fmt.Sprintf("field %s is guarded by %s but %s never locks %s",
+				field, mu, fn.Name.Name, mu),
+		})
+		return true
+	})
+	return out
+}
+
+// oneKey returns some key of a non-empty set (for messages).
+func oneKey(set map[string]bool) string {
+	for k := range set {
+		return k
+	}
+	return ""
+}

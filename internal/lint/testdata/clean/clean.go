@@ -1,0 +1,5 @@
+// Package cleanfixture has nothing for any analyzer to find; cmd/edmlint's
+// tests use it for the exit-0 path.
+package cleanfixture
+
+func Add(a, b int) int { return a + b }

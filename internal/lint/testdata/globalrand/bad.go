@@ -1,0 +1,11 @@
+package globalrand_fixture
+
+import "math/rand" // want "math/rand import in deterministic package"
+
+func roll() int {
+	return rand.Intn(6) // want "global math/rand source via rand.Intn"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "global math/rand source via rand.Float64"
+}

@@ -1,0 +1,10 @@
+package globalrand_fixture
+
+// mix is deterministic arithmetic (a splitmix64 round): randomness in this
+// repo flows through workload.Partition streams built on exactly this.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return z
+}

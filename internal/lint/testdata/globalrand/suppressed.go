@@ -1,0 +1,9 @@
+package globalrand_fixture
+
+//edmlint:allow globalrand fixture demonstrates suppressing the import ban
+import mrand "math/rand"
+
+func seeded() int {
+	//edmlint:allow globalrand fixture demonstrates suppressing a call
+	return mrand.Intn(6)
+}

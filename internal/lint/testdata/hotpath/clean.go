@@ -1,0 +1,14 @@
+package hotpath_fixture
+
+import "fmt"
+
+// encode is allocation-lean: sized make, errors built only on the way out.
+//
+//edmlint:hotpath
+func encode(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("empty payload")
+	}
+	dst := make([]byte, 0, len(src)+4)
+	return append(dst, src...), nil
+}

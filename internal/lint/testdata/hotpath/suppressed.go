@@ -1,0 +1,10 @@
+package hotpath_fixture
+
+// issue is hot but keeps one deliberate defensive copy: the caller may
+// mutate payload after the call returns.
+//
+//edmlint:hotpath
+func issue(payload []byte) []byte {
+	//edmlint:allow hotpath fixture demonstrates an allowed defensive copy
+	return append([]byte(nil), payload...)
+}

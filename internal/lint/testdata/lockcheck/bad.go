@@ -1,0 +1,16 @@
+package lockcheck_fixture
+
+// Peek reads the counter without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want "field n is guarded by mu but Peek never locks mu"
+}
+
+// poke mutates a counter it received and never locked.
+func poke(c *Counter) {
+	c.n = 7 // want "field n is guarded by mu but poke never locks mu"
+}
+
+// siphon goes around Table's methods from a free function.
+func siphon(t *Table) int {
+	return t.slots[0] // want "guarded by caller (owner-methods only) but siphon"
+}

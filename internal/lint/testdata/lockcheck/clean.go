@@ -1,0 +1,30 @@
+package lockcheck_fixture
+
+import "sync"
+
+// Counter is the through-the-lock shape the checker wants to see.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// drainLocked requires c.mu held by the caller; the Locked suffix is the
+// contract the checker honours.
+func (c *Counter) drainLocked() int {
+	v := c.n
+	c.n = 0
+	return v
+}
+
+// Table is externally serialized: only its own methods may touch slots.
+type Table struct {
+	slots []int // guarded by caller (rmem.Server serializes access)
+}
+
+func (t *Table) Get(i int) int { return t.slots[i] }

@@ -1,0 +1,9 @@
+package lockcheck_fixture
+
+// snapshotRacy deliberately reads without the lock: the estimate feeds a
+// monitoring line where a torn read is benign.
+//
+//edmlint:allow lockcheck fixture demonstrates a suppressed unlocked read
+func snapshotRacy(c *Counter) int {
+	return c.n
+}

@@ -1,0 +1,15 @@
+package walltime_fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func nap() {
+	time.Sleep(pollInterval) // want "wall-clock time.Sleep"
+}
+
+func metronome() <-chan time.Time {
+	return time.Tick(time.Second) // want "wall-clock time.Tick"
+}

@@ -1,0 +1,9 @@
+package walltime_fixture
+
+import "time"
+
+// Durations and time types are configuration, not clock reads; the analyzer
+// leaves them alone.
+const pollInterval = 50 * time.Millisecond
+
+func double(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,7 @@
+//edmlint:allow walltime fixture demonstrates a file-scoped allow
+
+package walltime_fixture
+
+import "time"
+
+func fileScoped() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+package walltime_fixture
+
+import wall "time"
+
+// expiry polls the real deadline: the retransmission contract is wall-time
+// by design, so the whole function is allowed.
+//
+//edmlint:allow walltime fixture demonstrates a declaration-scoped allow
+func expiry() wall.Time {
+	return wall.Now()
+}
+
+func fence() {
+	//edmlint:allow walltime fixture demonstrates a line-scoped allow
+	wall.Sleep(pollInterval)
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// forbiddenTime is the set of package-level time functions that read or
+// schedule against the wall clock. Types (time.Duration, time.Timer) and
+// duration constants stay legal: configuration is fine, consulting the real
+// clock is not.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// Walltime forbids wall-clock reads in deterministic packages: seeded runs
+// are byte-reproducible only if every latency and timestamp flows through
+// the virtual clock (sim.Time). cmd/* and examples/* are exempt wholesale;
+// inherently real-time code elsewhere (the UDP transport, retransmission
+// timers, session lifecycle deadlines) carries explicit
+// //edmlint:allow walltime directives with its justification.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time in deterministic packages",
+	Run: func(p *Package, _ *Directives) []Finding {
+		if !p.deterministic() {
+			return nil
+		}
+		var out []Finding
+		for _, f := range p.Files {
+			name := importName(f, "time")
+			if name == "" || name == "_" {
+				continue
+			}
+			if name == "." {
+				for _, imp := range f.Imports {
+					if imp.Name != nil && imp.Name.Name == "." {
+						out = append(out, Finding{
+							Pos:      p.Fset.Position(imp.Pos()),
+							Analyzer: "walltime",
+							Message:  "dot-import of time defeats wall-clock analysis; import it qualified",
+						})
+					}
+				}
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != name || !forbiddenTime[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:      p.Fset.Position(sel.Pos()),
+					Analyzer: "walltime",
+					Message: fmt.Sprintf("wall-clock %s.%s in a deterministic package; thread the virtual clock (sim.Time) through, or annotate //edmlint:allow walltime <reason>",
+						name, sel.Sel.Name),
+				})
+				return true
+			})
+		}
+		return out
+	},
+}

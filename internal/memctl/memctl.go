@@ -68,10 +68,10 @@ const pageBytes = 4096
 // single-threaded by design.
 type Controller struct {
 	cfg      Config
-	pages    map[uint64]*[pageBytes]byte
-	openRow  []int64 // per bank; -1 = closed
-	accesses uint64
-	rowHits  uint64
+	pages    map[uint64]*[pageBytes]byte // guarded by caller (single-threaded by design; rmem.Server serializes under its mu)
+	openRow  []int64                     // per bank; -1 = closed; guarded by caller
+	accesses uint64                      // guarded by caller
+	rowHits  uint64                      // guarded by caller
 }
 
 // New returns a controller with the given configuration.
@@ -103,6 +103,8 @@ func (c *Controller) check(addr uint64, n int) error {
 }
 
 // accessTime charges bank timing for one access touching [addr, addr+n).
+//
+//edmlint:hotpath runs once per served memory access
 func (c *Controller) accessTime(addr uint64, n int) sim.Time {
 	total := c.cfg.Overhead
 	// Walk the bursts the access spans; consecutive bursts in an open row
@@ -161,6 +163,8 @@ func (c *Controller) copyIn(addr uint64, src []byte) {
 }
 
 // Read returns n bytes at addr and the access latency.
+//
+//edmlint:hotpath
 func (c *Controller) Read(addr uint64, n int) ([]byte, sim.Time, error) {
 	if err := c.check(addr, n); err != nil {
 		return nil, 0, err
@@ -171,6 +175,8 @@ func (c *Controller) Read(addr uint64, n int) ([]byte, sim.Time, error) {
 }
 
 // Write stores data at addr and returns the access latency.
+//
+//edmlint:hotpath
 func (c *Controller) Write(addr uint64, data []byte) (sim.Time, error) {
 	if err := c.check(addr, len(data)); err != nil {
 		return 0, err
@@ -233,6 +239,8 @@ func RMWArgCount(op RMWOp) (int, error) {
 // read, modify, write — are atomic with respect to other requests because
 // the controller is driven by a single-threaded event loop, exactly like
 // the non-preemptible NIC pipeline in the paper.
+//
+//edmlint:hotpath
 func (c *Controller) RMW(addr uint64, op RMWOp, args ...uint64) (uint64, sim.Time, error) {
 	if addr%WordBytes != 0 {
 		return 0, 0, ErrUnaligned

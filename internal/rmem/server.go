@@ -110,8 +110,8 @@ type Server struct {
 	cfg ServerConfig
 
 	mu    sync.Mutex
-	mem   *memctl.Controller
-	stats ServerStats
+	mem   *memctl.Controller // guarded by mu (the slab: Controller is not itself thread-safe)
+	stats ServerStats        // guarded by mu
 }
 
 // NewServer builds a memory node with the given slab/slot geometry.
@@ -156,9 +156,12 @@ func statusOf(err error) wire.Status {
 // Handle executes one fresh request and returns its response. It is the
 // wire.Responder handler; the responder layer has already suppressed
 // duplicates, so every call here executes exactly once.
+//
+//edmlint:hotpath one Handle per served request
 func (s *Server) Handle(m *wire.Msg) *wire.Msg {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//edmlint:allow hotpath one response message per request is the protocol
 	resp := &wire.Msg{Kind: m.Kind.Response(), ID: m.ID}
 	switch m.Kind {
 	case wire.KindHello:
@@ -205,6 +208,7 @@ func (s *Server) Handle(m *wire.Msg) *wire.Msg {
 		binary.LittleEndian.PutUint64(resp.Data, result)
 	default:
 		s.stats.Errors++
+		//edmlint:allow hotpath cold path: unknown request kind
 		resp = &wire.Msg{Kind: wire.KindByeAck, ID: m.ID, Status: wire.StatusProto}
 	}
 	return resp

@@ -2,10 +2,10 @@ package sched
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func testCfg(ports int) Config {
@@ -104,7 +104,7 @@ func TestMatchingIsAMatching(t *testing.T) {
 		})
 		_ = slot{}
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := workload.NewPartition(1).Stream("sched-matching")
 	id := uint64(0)
 	for i := 0; i < 40; i++ {
 		src := rng.Intn(8)
@@ -357,8 +357,8 @@ func TestStatsAndQueueLen(t *testing.T) {
 // Property-style test: random workloads always (a) grant every byte exactly
 // once, (b) never overlap a port, (c) deliver pairs in order.
 func TestRandomWorkloadInvariants(t *testing.T) {
-	for seed := int64(0); seed < 10; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := workload.NewPartition(seed).Stream("sched-invariants")
 		cfg := testCfg(6)
 		if seed%2 == 0 {
 			cfg.Policy = FCFS

@@ -219,6 +219,8 @@ func (m *Msg) EncodedSize() int {
 }
 
 // Encode renders m as one datagram.
+//
+//edmlint:hotpath one exactly-sized allocation per datagram
 func (m *Msg) Encode() ([]byte, error) {
 	if m.Kind == 0 || m.Kind > kindMax {
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(m.Kind))
@@ -252,6 +254,8 @@ func (m *Msg) Encode() ([]byte, error) {
 // count, bounds and trailing checksum; any corruption that flips a bit
 // anywhere in the datagram is caught by the CRC, mirroring the fabric's
 // corrupted-block detection (§3.3).
+//
+//edmlint:hotpath
 func Decode(b []byte) (*Msg, error) {
 	if len(b) < headerBytes+crcBytes {
 		return nil, fmt.Errorf("%w: %d bytes", ErrShort, len(b))
@@ -266,6 +270,7 @@ func Decode(b []byte) (*Msg, error) {
 	if b[0] != Version {
 		return nil, fmt.Errorf("%w: got %d want %d", ErrVersion, b[0], Version)
 	}
+	//edmlint:allow hotpath one Msg per datagram is the decode contract
 	m := &Msg{
 		Kind:   Kind(b[1]),
 		Status: Status(b[2]),
@@ -298,6 +303,7 @@ func Decode(b []byte) (*Msg, error) {
 		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(payload))
 	}
 	if len(payload) > 0 {
+		//edmlint:allow hotpath the datagram buffer is reused by transports; Msg must own its payload
 		m.Data = append([]byte(nil), payload...)
 	}
 	return m, nil

@@ -84,10 +84,10 @@ type Conn struct {
 	pipe Pipe
 
 	mu      sync.Mutex
-	nextID  uint32
-	pending map[uint32]*call
-	closed  bool
-	stats   ConnStats
+	nextID  uint32           // guarded by mu
+	pending map[uint32]*call // guarded by mu
+	closed  bool             // guarded by mu
+	stats   ConnStats        // guarded by mu
 }
 
 // NewConn builds a reliable connection over pipe. The owner must route
@@ -109,6 +109,8 @@ func (c *Conn) Stats() ConnStats {
 // connection closes first. The assigned message ID is returned. cb may be
 // invoked synchronously (before Call returns) on transports that deliver
 // in the caller's stack, such as the loopback.
+//
+//edmlint:hotpath one Call per client operation
 func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
 	if !m.Kind.IsRequest() {
 		return 0, fmt.Errorf("%w: %v is not a request", ErrBadMsg, m.Kind)
@@ -126,6 +128,7 @@ func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
 		c.mu.Unlock()
 		return 0, err
 	}
+	//edmlint:allow hotpath one call record per op is the protocol's bookkeeping
 	cl := &call{enc: enc, want: m.Kind.Response(), cb: cb, attempts: 1}
 	c.pending[id] = cl
 	c.stats.Sent++
@@ -144,6 +147,9 @@ func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
 // for synchronous transports: the response may already have been delivered
 // in the send's own stack, and a pre-armed timer could race it under
 // scheduler jitter, retransmitting a message that was never lost.
+//
+//edmlint:hotpath runs once per Call; the timer is allocated once then Reset
+//edmlint:allow walltime,hotpath retransmission deadlines are wall time by contract
 func (c *Conn) arm(id uint32, cl *call) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -185,6 +191,8 @@ func (c *Conn) retry(id uint32) {
 
 // Deliver is the inbound datagram path: decode, match by ID, complete the
 // call. Unmatched or undecodable datagrams are counted and dropped.
+//
+//edmlint:hotpath one Deliver per response datagram
 func (c *Conn) Deliver(p []byte) {
 	m, err := Decode(p)
 	c.mu.Lock()
@@ -313,9 +321,9 @@ type Responder struct {
 
 	mu     sync.Mutex
 	window int
-	cache  map[uint32]*respEntry
-	order  []uint32
-	stats  ResponderStats
+	cache  map[uint32]*respEntry // guarded by mu
+	order  []uint32              // guarded by mu
+	stats  ResponderStats        // guarded by mu
 }
 
 // NewResponder builds the server half over pipe. handler maps one fresh
@@ -337,6 +345,8 @@ func (r *Responder) Stats() ResponderStats {
 }
 
 // Deliver is the inbound datagram path for one client's requests.
+//
+//edmlint:hotpath one Deliver per request datagram
 func (r *Responder) Deliver(p []byte) {
 	m, err := Decode(p)
 	if err != nil {
@@ -361,6 +371,7 @@ func (r *Responder) Deliver(p []byte) {
 		r.pipe.Send(e.enc)
 		return
 	}
+	//edmlint:allow hotpath one dedup entry per fresh request is the exactly-once cost
 	e := &respEntry{done: make(chan struct{})}
 	if len(r.order) >= r.window {
 		// Evict the oldest *completed* entry. An entry whose handler is
@@ -392,6 +403,7 @@ func (r *Responder) Deliver(p []byte) {
 	if err != nil {
 		// An over-large response is a handler bug; answer with a status
 		// the client can surface instead of going silent.
+		//edmlint:allow hotpath cold path: handler produced an unencodable response
 		enc, _ = (&Msg{Kind: m.Kind.Response(), ID: m.ID, Status: StatusProto}).Encode()
 	}
 	e.enc = enc

@@ -1,3 +1,5 @@
+//edmlint:allow walltime these tests wait on real retry/timeout deadlines
+
 package wire
 
 import (

@@ -1,3 +1,5 @@
+//edmlint:allow walltime these tests exercise real retransmission timers and session expiry
+
 package wire
 
 import (

@@ -1,3 +1,5 @@
+//edmlint:allow walltime the UDP transport is the real-time boundary: socket timestamps and idle reclamation are wall time by nature
+
 package wire
 
 import (
@@ -81,8 +83,8 @@ const sessionIdleTimeout = 5 * time.Minute
 // udpSession is one remote client's state.
 type udpSession struct {
 	deliver  func([]byte)
-	token    string    // HELLO session token; guarded by the server mutex
-	lastSeen time.Time // guarded by the server mutex
+	token    string    // HELLO session token; guarded by mu (the server's)
+	lastSeen time.Time // guarded by mu (the server's)
 }
 
 // UDPServer owns a listening UDP socket and demultiplexes datagrams to
@@ -108,8 +110,8 @@ type UDPServer struct {
 	accept func(remote string, reply Pipe) func([]byte)
 
 	mu       sync.Mutex
-	sessions map[string]*udpSession
-	closed   bool
+	sessions map[string]*udpSession // guarded by mu
+	closed   bool                   // guarded by mu
 	done     chan struct{}
 	wg       sync.WaitGroup
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Snapshot the wire/rmem benchmarks into a BENCH_N.json perf-trajectory file.
+#
+# Usage: scripts/bench_snapshot.sh [OUT.json] [BASELINE.json]
+#   OUT       defaults to the next free BENCH_N.json at the repo root
+#   BASELINE  optional earlier snapshot; deltas are printed when given
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+if [ -z "$out" ]; then
+    n=0
+    while [ -e "BENCH_$n.json" ]; do n=$((n + 1)); done
+    out="BENCH_$n.json"
+fi
+
+if [ -n "${2:-}" ]; then
+    exec go run ./cmd/edmbench -snapshot "$out" -baseline "$2"
+fi
+exec go run ./cmd/edmbench -snapshot "$out"
