@@ -14,7 +14,7 @@ import (
 
 // benchPackages are the hot-path packages whose Go benchmarks the snapshot
 // captures: the wire codec/transport and the rmem client/server round trip.
-var benchPackages = []string{"repro/internal/wire", "repro/internal/rmem"}
+var benchPackages = []string{"repro/internal/wire", "repro/internal/rmem", "repro/internal/telemetry"}
 
 // Benchmark is one `go test -bench` result line.
 type Benchmark struct {

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +24,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/rmem"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -42,6 +45,8 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	slotBytes := fs.Int("slotbytes", 4096, "bytes per kv slot")
 	dupWindow := fs.Int("dup-window", 0, "per-session duplicate-suppression window (0 = default)")
 	duration := fs.Duration("duration", 0, "serve for this long then exit (0 = until SIGINT/SIGTERM)")
+	metricsAddr := fs.String("metrics", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof (empty = off)")
+	traceOps := fs.Int("trace-ops", 0, "keep the last N per-op trace records, served at /debug/traceops (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -58,11 +63,28 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 		return cli.Usagef("-duration must not be negative")
 	}
 
+	// One registry backs the server's operation counters, the responder's
+	// reliability counters, the UDP session lifecycle, and (when enabled)
+	// the /metrics endpoint. Per-opcode service-time histograms need a
+	// clock; it is wired only when someone can see them.
+	reg := telemetry.NewRegistry()
+	var ring *telemetry.TraceRing
+	if *traceOps > 0 {
+		ring = telemetry.NewTraceRing(*traceOps)
+	}
+	var nowNS func() int64
+	if *metricsAddr != "" || ring != nil {
+		nowNS = func() int64 { return time.Now().UnixNano() }
+	}
 	srv, err := rmem.NewServer(rmem.ServerConfig{
 		Geometry: rmem.Geometry{
 			SlabBytes: uint64(*slab), Slots: *slots, SlotBytes: *slotBytes,
 		},
 		DupWindow: *dupWindow,
+		Metrics:   rmem.NewServerMetrics(reg),
+		Responder: wire.NewResponderMetrics(reg),
+		NowNS:     nowNS,
+		Trace:     ring,
 	})
 	if err != nil {
 		return cli.UsageError{S: err.Error()}
@@ -76,9 +98,21 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	us.SetMetrics(wire.NewUDPServerMetrics(reg))
 	g := srv.Geometry()
 	fmt.Fprintf(stdout, "edmd: listening on %s (slab %d B, %d slots x %d B)\n",
 		us.Addr(), g.SlabBytes, g.Slots, g.SlotBytes)
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			us.Close()
+			return fmt.Errorf("edmd: metrics listen %s: %w", *metricsAddr, err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, telemetry.AdminMux(reg, ring))
+		fmt.Fprintf(stdout, "edmd: metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	if *duration > 0 {
 		select {
@@ -91,10 +125,17 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	if err := us.Close(); err != nil {
 		return err
 	}
+	// The exit log is a view of the same registry the /metrics endpoint
+	// serves: srv.Stats() loads the telemetry counters.
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "edmd: served reads %d writes %d rmws %d (%d B out, %d B in), errors %d\n",
 		st.Reads, st.Writes, st.RMWs, st.BytesRead, st.BytesWritten, st.Errors)
 	fmt.Fprintf(stdout, "edmd: sessions hello %d bye %d, modeled DRAM time %v\n",
 		st.Hellos, st.Byes, st.ModeledDRAM)
+	snap := reg.Snapshot()
+	fmt.Fprintf(stdout, "edmd: wire replays %d garbage %d rejected %d, sessions started %d reset %d expired %d\n",
+		snap.Counters["wire_server_replays_total"], snap.Counters["wire_server_garbage_total"],
+		snap.Counters["wire_server_rejected_total"], snap.Counters["wire_udp_sessions_started_total"],
+		snap.Counters["wire_udp_session_resets_total"], snap.Counters["wire_udp_sessions_expired_total"])
 	return nil
 }

@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
-
+	"io"
+	"net/http"
 	"os"
 	"regexp"
-	"repro/internal/cli"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/rmem"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -144,5 +148,117 @@ func TestEdmdDuration(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("-duration run never exited")
+	}
+}
+
+// TestEdmdMetricsEndpoint boots the daemon with the HTTP admin endpoint and
+// the trace ring enabled, drives a few ops through it, and checks that
+// /healthz answers, /metrics exposes per-opcode series, and /debug/traceops
+// returns the op records.
+func TestEdmdMetricsEndpoint(t *testing.T) {
+	out := &syncBuf{}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+			"-trace-ops", "64", "-slab", "1048576", "-slotbytes", "256"},
+			stop, out, out)
+	}()
+	t.Cleanup(func() {
+		stop <- os.Interrupt
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not stop on signal")
+		}
+	})
+
+	udpRe := regexp.MustCompile(`listening on (\S+)`)
+	httpRe := regexp.MustCompile(`metrics on http://(\S+)/metrics`)
+	var udpAddr, httpAddr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		log := out.String()
+		um, hm := udpRe.FindStringSubmatch(log), httpRe.FindStringSubmatch(log)
+		if um != nil && hm != nil {
+			udpAddr, httpAddr = um[1], hm[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if udpAddr == "" || httpAddr == "" {
+		t.Fatalf("daemon never reported both addresses:\n%s", out.String())
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + httpAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return string(body)
+	}
+	if h := get("/healthz"); h != "ok\n" {
+		t.Errorf("/healthz = %q, want ok", h)
+	}
+
+	uc, err := wire.DialUDP(udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rmem.NewClient(uc, rmem.ClientConfig{
+		Retry: wire.ConnConfig{RetryTimeout: 100 * time.Millisecond, MaxRetries: 10}})
+	go uc.Run(client.Deliver)
+	if err := client.Connect(); err != nil {
+		t.Fatalf("connect to daemon: %v", err)
+	}
+	if err := client.WriteSync(0, []byte("metrics")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ReadSync(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`rmem_server_ops_total{op="read"} 1`,
+		`rmem_server_ops_total{op="write"} 1`,
+		`rmem_server_op_latency_ns_bucket{op="read"`,
+		`rmem_server_op_latency_ns_count{op="read"} 1`,
+		`wire_udp_sessions_started_total 1`,
+		`wire_server_requests_total`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	traces := get("/debug/traceops")
+	var recs []telemetry.OpRecord
+	if err := json.Unmarshal([]byte(traces), &recs); err != nil {
+		t.Fatalf("/debug/traceops: %v\n%s", err, traces)
+	}
+	// HELLO + WRITE + READ + BYE each leave one serve-stage record.
+	if len(recs) < 4 {
+		t.Errorf("/debug/traceops has %d records, want >= 4:\n%s", len(recs), traces)
+	}
+	for _, r := range recs {
+		if r.Stage != telemetry.StageServe {
+			t.Errorf("trace record stage %v, want %v", r.Stage, telemetry.StageServe)
+		}
+	}
+
+	snapJSON := get("/metrics.json")
+	if !strings.Contains(snapJSON, `rmem_server_ops_total{op=\"read\"}`) {
+		t.Errorf("/metrics.json missing read counter:\n%s", snapJSON)
 	}
 }

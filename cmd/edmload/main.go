@@ -31,6 +31,7 @@ import (
 	"repro/internal/rmem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -69,6 +70,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	slotBytes := fs.Int("slotbytes", 4096, "loopback server: bytes per kv slot")
 	retry := fs.Duration("retry", 20*time.Millisecond, "per-attempt retransmission timeout")
 	retries := fs.Int("retries", 5, "max retransmissions per operation")
+	progress := fs.Duration("progress", 0, "print progress every interval (stderr; loopback counts on the virtual clock)")
+	traceOps := fs.Int("trace-ops", 0, "keep and dump the last N per-op trace records (stderr)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -158,10 +161,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Window: *window,
 		Retry:  wire.ConnConfig{RetryTimeout: *retry, MaxRetries: maxRetries},
 	}
+	opts := runOpts{progress: *progress, traceN: *traceOps, stderr: stderr}
 	if *addr == "" {
-		return runLoopback(ops, source, *seed, *slab, *slots, *slotBytes, ccfg, stdout)
+		return runLoopback(ops, source, *seed, *slab, *slots, *slotBytes, ccfg, opts, stdout)
 	}
-	return runLive(ops, source, *seed, *addr, *rate, ccfg, stdout)
+	return runLive(ops, source, *seed, *addr, *rate, ccfg, opts, stdout)
+}
+
+// runOpts carries the observability knobs into the run loops.
+type runOpts struct {
+	progress time.Duration
+	traceN   int
+	stderr   io.Writer
+}
+
+// ring builds the per-op trace ring, nil when tracing is off.
+func (o runOpts) ring() *telemetry.TraceRing {
+	if o.traceN <= 0 {
+		return nil
+	}
+	return telemetry.NewTraceRing(o.traceN)
+}
+
+// dumpTrace prints the ring's records oldest-first to stderr.
+func (o runOpts) dumpTrace(ring *telemetry.TraceRing) {
+	if ring == nil {
+		return
+	}
+	for _, r := range ring.SnapshotRecords() {
+		fmt.Fprintf(o.stderr, "edmload: traceop seq=%d id=%d stage=%s kind=%s ts=%dns arg=%d\n",
+			r.Seq, r.ID, r.Stage, wire.Kind(r.Op), r.TS, r.Arg)
+	}
 }
 
 // targets precomputes the (addr, size, read) triple of every op: sizes are
@@ -190,7 +220,7 @@ func targets(ops []workload.Op, seed, slabBytes uint64) ([]workload.Op, []uint64
 
 // runLoopback replays ops single-threaded against an in-process server,
 // measuring on the virtual clock: a deterministic report for a fixed seed.
-func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slots, slotBytes int, ccfg rmem.ClientConfig, stdout io.Writer) error {
+func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slots, slotBytes int, ccfg rmem.ClientConfig, opts runOpts, stdout io.Writer) error {
 	if slab <= 0 {
 		return cli.Usagef("-slab must be positive, got %d", slab)
 	}
@@ -201,6 +231,11 @@ func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slot
 		return cli.UsageError{S: err.Error()}
 	}
 	lb := wire.NewLoopback(wire.LoopbackConfig{})
+	// Latency histograms and trace timestamps read the loopback's virtual
+	// clock, so the whole run — telemetry included — stays deterministic.
+	ring := opts.ring()
+	ccfg.NowNS = func() int64 { return int64(lb.Now() / sim.Nanosecond) }
+	ccfg.Trace = ring
 	client := rmem.NewClient(lb.ClientPipe(), ccfg)
 	lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
 	lb.BindClient(client.Deliver)
@@ -215,6 +250,7 @@ func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slot
 	}
 	buf := make([]byte, wire.MaxData)
 	results := make([]opResult, len(ops))
+	nextProgress := opts.progress
 	for i, op := range ops {
 		lb.AdvanceTo(op.Arrival)
 		start := lb.Now()
@@ -230,21 +266,33 @@ func runLoopback(ops []workload.Op, source string, seed uint64, slab int64, slot
 			bytes:  op.Size,
 			ns:     (lb.Now() - start).Nanoseconds(),
 		}
+		if opts.progress > 0 && time.Duration(lb.Now()/sim.Nanosecond) >= nextProgress {
+			fmt.Fprintf(opts.stderr, "edmload: progress %d/%d ops, virtual %v\n",
+				i+1, len(ops), lb.Now())
+			for nextProgress <= time.Duration(lb.Now()/sim.Nanosecond) {
+				nextProgress += opts.progress
+			}
+		}
 	}
 	horizon := lb.Now()
 	horizonSec := float64(horizon) / float64(1000*sim.Millisecond)
-	return report(stdout, "loopback (virtual clock)", source, results,
+	err = report(stdout, "loopback (virtual clock)", source, results,
 		horizon.String(), horizonSec, client, srv)
+	opts.dumpTrace(ring)
+	return err
 }
 
 // runLive replays ops against a remote edmd over UDP, measured in wall time.
 // rate 0 runs closed-loop with window-many workers; rate > 0 paces an open
 // loop, shedding ops that find the window full (the client's fail-fast).
-func runLive(ops []workload.Op, source string, seed uint64, addr string, rate float64, ccfg rmem.ClientConfig, stdout io.Writer) error {
+func runLive(ops []workload.Op, source string, seed uint64, addr string, rate float64, ccfg rmem.ClientConfig, opts runOpts, stdout io.Writer) error {
 	uc, err := wire.DialUDP(addr)
 	if err != nil {
 		return err
 	}
+	ring := opts.ring()
+	ccfg.NowNS = func() int64 { return time.Now().UnixNano() }
+	ccfg.Trace = ring
 	client := rmem.NewClient(uc, ccfg)
 	go uc.Run(client.Deliver)
 	if err := client.Connect(); err != nil {
@@ -259,6 +307,25 @@ func runLive(ops []workload.Op, source string, seed uint64, addr string, rate fl
 	}
 	results := make([]opResult, len(ops))
 	start := time.Now()
+	if opts.progress > 0 {
+		stopProgress := make(chan struct{})
+		defer close(stopProgress)
+		go func() {
+			ticker := time.NewTicker(opts.progress)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-ticker.C:
+				}
+				st, cs := client.Stats(), client.ConnStats()
+				fmt.Fprintf(opts.stderr, "edmload: progress done %d failed %d of %d, retransmits %d, elapsed %v\n",
+					st.Done+st.Failed, st.Failed, len(ops), cs.Retransmit,
+					time.Since(start).Round(time.Millisecond))
+			}
+		}()
+	}
 	if rate > 0 {
 		interval := time.Duration(float64(time.Second) / rate)
 		var wg sync.WaitGroup
@@ -321,8 +388,10 @@ func runLive(ops []workload.Op, source string, seed uint64, addr string, rate fl
 		wg.Wait()
 	}
 	elapsed := time.Since(start)
-	return report(stdout, "udp "+addr, source, results,
+	err = report(stdout, "udp "+addr, source, results,
 		elapsed.String(), elapsed.Seconds(), client, nil)
+	opts.dumpTrace(ring)
+	return err
 }
 
 // report renders the percentile table, mirroring cmd/edmsim's summary rows.
@@ -363,6 +432,23 @@ func report(w io.Writer, endpoint, source string, results []opResult, horizon st
 	}
 	if s := stats.Summarize(writes); s.N > 0 {
 		fmt.Fprintf(tw, "latency (ns) (writes)\t%s\n", s.Row())
+	}
+	// The client's telemetry histograms observed the same completions on
+	// the same clock; their rows cross-check the exact percentiles above
+	// within the histogram's 1/16-bucket resolution.
+	if m := client.Metrics(); m != nil {
+		for _, h := range []struct {
+			label string
+			kind  wire.Kind
+		}{
+			{"histogram (ns) (reads)", wire.KindRREQ},
+			{"histogram (ns) (writes)", wire.KindWREQ},
+		} {
+			if snap := m.Latency[h.kind].Snapshot(); snap.Count > 0 {
+				fmt.Fprintf(tw, "%s\tmean %.3f p50 %.3f p90 %.3f p99 %.3f max %.3f\n",
+					h.label, snap.Mean, snap.P50, snap.P90, snap.P99, snap.Max)
+			}
+		}
 	}
 	if horizonSec > 0 {
 		fmt.Fprintf(tw, "throughput\t%.0f ops/s\n", float64(done)/horizonSec)

@@ -6,6 +6,7 @@ import (
 
 	"regexp"
 	"repro/internal/cli"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -177,4 +178,80 @@ func TestLiveRatePaced(t *testing.T) {
 	if !regexp.MustCompile(`operations\s+issued 1\d\d done`).MatchString(out) {
 		t.Errorf("report missing issue count:\n%s", out)
 	}
+}
+
+// parseRow extracts mean/p50/p90/p99/max from one labelled report row.
+func parseRow(t *testing.T, report, label string) map[string]float64 {
+	t.Helper()
+	re := regexp.MustCompile(regexp.QuoteMeta(label) +
+		`\s+mean (\S+) p50 (\S+) p90 (\S+) p99 (\S+) max (\S+)`)
+	m := re.FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("report missing row %q:\n%s", label, report)
+	}
+	out := map[string]float64{}
+	for i, k := range []string{"mean", "p50", "p90", "p99", "max"} {
+		v, err := strconv.ParseFloat(m[i+1], 64)
+		if err != nil {
+			t.Fatalf("row %q field %s = %q: %v", label, k, m[i+1], err)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestHistogramRowsCrossCheck: the telemetry histograms observe the same
+// completions as the exact per-op samples, on the same virtual clock, so
+// the histogram rows must agree with the exact rows to within the
+// histogram's 1/16-bucket relative resolution.
+func TestHistogramRowsCrossCheck(t *testing.T) {
+	out := load(t, "", "-profile", "memcached", "-count", "600", "-seed", "7")
+	for _, kind := range []string{"reads", "writes"} {
+		exact := parseRow(t, out, "latency (ns) ("+kind+")")
+		hist := parseRow(t, out, "histogram (ns) ("+kind+")")
+		for _, q := range []string{"p50", "p90", "p99", "max"} {
+			want, got := exact[q], hist[q]
+			// One log-linear sub-bucket of relative error, plus interpolation
+			// slack within the bucket.
+			tol := want/16 + 2
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s %s: histogram %v vs exact %v (tol %v)", kind, q, got, want, tol)
+			}
+		}
+		if exact["mean"] <= 0 || hist["mean"] <= 0 {
+			t.Errorf("%s: non-positive means (exact %v hist %v)", kind, exact["mean"], hist["mean"])
+		}
+	}
+}
+
+// TestTraceOpsFlag: -trace-ops dumps per-op records on stderr after the
+// report, and the dump stays deterministic on the loopback's virtual clock.
+func TestTraceOpsFlag(t *testing.T) {
+	run1 := loadBoth(t, "-profile", "fixed64", "-count", "50", "-seed", "2", "-trace-ops", "16")
+	run2 := loadBoth(t, "-profile", "fixed64", "-count", "50", "-seed", "2", "-trace-ops", "16")
+	if run1 != run2 {
+		t.Fatalf("trace dump is nondeterministic:\n%s\n---\n%s", run1, run2)
+	}
+	lines := 0
+	for _, l := range strings.Split(run1, "\n") {
+		if strings.HasPrefix(l, "edmload: traceop ") {
+			lines++
+		}
+	}
+	if lines != 16 {
+		t.Fatalf("want 16 traceop lines, got %d:\n%s", lines, run1)
+	}
+	if !regexp.MustCompile(`edmload: traceop seq=\d+ id=\d+ stage=(enqueue|send|retry|complete|timeout) kind=\S+ ts=\d+ns arg=\d+`).MatchString(run1) {
+		t.Fatalf("traceop line shape unexpected:\n%s", run1)
+	}
+}
+
+// loadBoth runs edmload capturing stdout and stderr together.
+func loadBoth(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatalf("edmload %v: %v (%s)", args, err, errb.String())
+	}
+	return out.String() + "\n===\n" + errb.String()
 }

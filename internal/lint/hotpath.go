@@ -14,6 +14,19 @@ var perCallTimers = map[string]bool{
 	"After": true, "Tick": true,
 }
 
+// registryLookups are the telemetry registry's string-keyed lookup methods.
+// The lookups take a mutex and hash a name — setup-time work. The atomic
+// operations on the metrics they return (Inc, Add, Observe, Set) are
+// hot-path-safe; the rule is: register once, hold the pointer, update atomics
+// per op.
+var registryLookups = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// telemetryPath is the metrics package whose registry lookups are flagged on
+// hot paths.
+const telemetryPath = "repro/internal/telemetry"
+
 // Hotpath flags allocation- and syscall-per-op patterns in functions whose
 // doc comment carries //edmlint:hotpath. The patterns are the ones that have
 // actually shown up in this repo's per-message paths:
@@ -24,7 +37,12 @@ var perCallTimers = map[string]bool{
 //     outlives the frame;
 //   - make(map/chan) and make([]T, 0) with no useful capacity;
 //   - append([]T(nil), src...) defensive copies;
-//   - per-call timers (time.NewTimer and friends).
+//   - per-call timers (time.NewTimer and friends);
+//   - telemetry registry lookups (Counter/Gauge/Histogram by name) in files
+//     importing repro/internal/telemetry: string-keyed map lookups behind a
+//     mutex per op. Pre-register the metric and hold the pointer — the
+//     atomic Inc/Add/Observe/Set calls on held metrics are hot-path-safe
+//     and are deliberately not flagged.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "flag allocation/syscall-per-op patterns in //edmlint:hotpath functions",
@@ -36,12 +54,13 @@ func runHotpath(p *Package, d *Directives) []Finding {
 	for _, f := range p.Files {
 		fmtName := importName(f, "fmt")
 		timeName := importName(f, "time")
+		hasTelemetry := importName(f, telemetryPath) != ""
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !d.Hot(fn) {
 				continue
 			}
-			out = append(out, checkHot(p, fn, fmtName, timeName)...)
+			out = append(out, checkHot(p, fn, fmtName, timeName, hasTelemetry)...)
 		}
 	}
 	return out
@@ -51,7 +70,7 @@ func runHotpath(p *Package, d *Directives) []Finding {
 // formatting on the way out is not flagged.
 type span struct{ from, to token.Pos }
 
-func checkHot(p *Package, fn *ast.FuncDecl, fmtName, timeName string) []Finding {
+func checkHot(p *Package, fn *ast.FuncDecl, fmtName, timeName string, hasTelemetry bool) []Finding {
 	var returns []span
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if r, ok := n.(*ast.ReturnStmt); ok {
@@ -88,6 +107,16 @@ func checkHot(p *Package, fn *ast.FuncDecl, fmtName, timeName string) []Finding 
 		case *ast.CallExpr:
 			sel, isSel := node.Fun.(*ast.SelectorExpr)
 			if isSel {
+				// Registry lookups hash a metric name behind a mutex on
+				// every call; the receiver can be any expression (a field
+				// chain, a package-level registry), so match on the method
+				// name and arity once the file imports the telemetry
+				// package. Atomic updates on held metric pointers (Inc,
+				// Add, Observe, Set) stay unflagged.
+				if hasTelemetry && registryLookups[sel.Sel.Name] && len(node.Args) == 1 {
+					out = append(out, finding(node.Pos(),
+						"telemetry registry lookup %s(name) per op; register once and hold the metric pointer", sel.Sel.Name))
+				}
 				if id, ok := sel.X.(*ast.Ident); ok {
 					if fmtName != "" && id.Name == fmtName && !inReturn(node.Pos()) {
 						out = append(out, finding(node.Pos(), "fmt.%s allocates per op", sel.Sel.Name))

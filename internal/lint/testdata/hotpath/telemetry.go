@@ -1,0 +1,35 @@
+package hotpath_fixture
+
+import "repro/internal/telemetry"
+
+// metrics is the right shape: lookups at construction, atomics per op.
+type metrics struct {
+	ops *telemetry.Counter
+	lat *telemetry.Histogram
+}
+
+// newMetrics registers once, outside any hot path — lookups here are fine.
+func newMetrics(r *telemetry.Registry) *metrics {
+	return &metrics{
+		ops: r.Counter("fixture_ops_total"),
+		lat: r.Histogram("fixture_lat_ns"),
+	}
+}
+
+// record holds pre-registered pointers; atomic updates are hot-path-safe.
+//
+//edmlint:hotpath
+func record(m *metrics, ns int64) {
+	m.ops.Inc()
+	m.ops.Add(2)
+	m.lat.Observe(ns)
+}
+
+// lookupPerOp hashes the metric name behind the registry mutex on every op.
+//
+//edmlint:hotpath
+func lookupPerOp(r *telemetry.Registry, ns int64) {
+	r.Counter("fixture_ops_total").Inc()      // want "telemetry registry lookup Counter(name) per op"
+	r.Gauge("fixture_depth").Set(1)           // want "telemetry registry lookup Gauge(name) per op"
+	r.Histogram("fixture_lat_ns").Observe(ns) // want "telemetry registry lookup Histogram(name) per op"
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -80,6 +81,61 @@ func BenchmarkClientPipelining(b *testing.B) {
 			}
 			wg.Wait()
 			b.ReportMetric(float64(per*issuers)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkClientRoundTripTelemetry isolates the instrumentation overhead
+// on the closed-loop read path: "noop" is the default wiring (unregistered
+// metrics, no clock, no ring — what the counters cost when nobody looks),
+// "full" adds a registered registry on both ends, wall-clock latency
+// histograms, and the op trace ring. Compare against the plain
+// BenchmarkClientRoundTrip/read=64 to see the total telemetry bill; the
+// acceptance bar is <2% on this path.
+func BenchmarkClientRoundTripTelemetry(b *testing.B) {
+	const size = 64
+	variants := []struct {
+		name  string
+		build func(b *testing.B) *Client
+	}{
+		{"noop", func(b *testing.B) *Client { return benchPair(b, 1) }},
+		{"full", func(b *testing.B) *Client {
+			reg := telemetry.NewRegistry()
+			ring := telemetry.NewTraceRing(1024)
+			//edmlint:allow walltime the benchmark measures the real cost of wall-clock instrumentation
+			nowNS := func() int64 { return time.Now().UnixNano() }
+			srv, err := NewServer(ServerConfig{
+				Geometry:  Geometry{SlabBytes: 1 << 24, Slots: 4096, SlotBytes: 1024},
+				Metrics:   NewServerMetrics(reg),
+				Responder: wire.NewResponderMetrics(reg),
+				NowNS:     nowNS, Trace: ring,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lb := wire.NewLoopback(wire.LoopbackConfig{})
+			client := NewClient(lb.ClientPipe(), ClientConfig{Window: 1,
+				Retry:   wire.ConnConfig{RetryTimeout: time.Second, MaxRetries: 3},
+				Metrics: NewClientMetrics(reg), NowNS: nowNS, Trace: ring})
+			lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+			lb.BindClient(client.Deliver)
+			if err := client.Connect(); err != nil {
+				b.Fatal(err)
+			}
+			return client
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			client := v.build(b)
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.ReadSync(uint64(i%1024)*64, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/memctl"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,16 @@ type ClientConfig struct {
 	// Slots and SlotBytes override the server-advertised slot geometry for
 	// the Get/Put API (zero adopts the HELLO-ACK values).
 	Slots, SlotBytes int
+	// Metrics receives the window/completion counters and per-opcode latency
+	// histograms. Nil gets a private, unregistered instance; its embedded
+	// ConnMetrics backs the reliable layer unless Retry.Metrics overrides.
+	Metrics *ClientMetrics
+	// NowNS supplies timestamps for the latency histograms and the trace
+	// ring (nanoseconds; wall or virtual — a loopback passes its virtual
+	// clock to keep runs deterministic). Nil disables latency measurement.
+	NowNS func() int64
+	// Trace, when non-nil, receives the reliable layer's per-op records.
+	Trace *telemetry.TraceRing
 }
 
 // ClientStats counts client-side operations.
@@ -58,8 +69,9 @@ type ClientStats struct {
 // RMW plus the kvstore-shaped Get/Put, all asynchronously pipelined behind a
 // bounded outstanding window.
 type Client struct {
-	conn *wire.Conn
-	cfg  ClientConfig
+	conn    *wire.Conn
+	cfg     ClientConfig
+	metrics *ClientMetrics
 	// token identifies this client incarnation in its HELLO: the server
 	// resets per-remote session state when the token changes (client
 	// restart on the same port) but not on a retransmitted HELLO carrying
@@ -68,10 +80,9 @@ type Client struct {
 
 	mu       sync.Mutex
 	slotFree *sync.Cond
-	inflight int         // guarded by mu
-	geo      Geometry    // guarded by mu
-	closed   bool        // guarded by mu
-	stats    ClientStats // guarded by mu
+	inflight int      // guarded by mu
+	geo      Geometry // guarded by mu
+	closed   bool     // guarded by mu
 }
 
 // NewClient builds a client over pipe. Route inbound datagrams to Deliver
@@ -87,7 +98,21 @@ func NewClient(pipe wire.Pipe, cfg ClientConfig) *Client {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 5 * time.Second
 	}
-	c := &Client{conn: wire.NewConn(pipe, cfg.Retry), cfg: cfg}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewClientMetrics(nil)
+	}
+	// The reliable layer inherits the client's metrics, clock, and trace
+	// ring unless the Retry config wires its own.
+	if cfg.Retry.Metrics == nil {
+		cfg.Retry.Metrics = cfg.Metrics.Conn
+	}
+	if cfg.Retry.NowNS == nil {
+		cfg.Retry.NowNS = cfg.NowNS
+	}
+	if cfg.Retry.Trace == nil {
+		cfg.Retry.Trace = cfg.Trace
+	}
+	c := &Client{conn: wire.NewConn(pipe, cfg.Retry), cfg: cfg, metrics: cfg.Metrics}
 	rand.Read(c.token[:])
 	c.slotFree = sync.NewCond(&c.mu)
 	return c
@@ -145,12 +170,19 @@ func (c *Client) Geometry() Geometry {
 	return c.geo
 }
 
-// Stats returns a snapshot of the operation counters.
+// Stats snapshots the operation counters from the client's metrics.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	m := c.metrics
+	return ClientStats{
+		Issued:     m.Issued.Load(),
+		Done:       m.Done.Load(),
+		Failed:     m.Failed.Load(),
+		WindowFull: m.WindowFull.Load(),
+	}
 }
+
+// Metrics returns the client's metrics instance (never nil after NewClient).
+func (c *Client) Metrics() *ClientMetrics { return c.metrics }
 
 // ConnStats returns the underlying reliable layer's counters
 // (retransmissions, timeouts, stray datagrams).
@@ -173,7 +205,7 @@ func (c *Client) acquire(wait bool) error {
 			return ErrClosed
 		}
 		if !wait {
-			c.stats.WindowFull++
+			c.metrics.WindowFull.Inc()
 			return ErrTooManyOut
 		}
 		c.slotFree.Wait()
@@ -182,7 +214,8 @@ func (c *Client) acquire(wait bool) error {
 		return ErrClosed
 	}
 	c.inflight++
-	c.stats.Issued++
+	c.metrics.Window.Set(int64(c.inflight))
+	c.metrics.Issued.Inc()
 	return nil
 }
 
@@ -190,13 +223,14 @@ func (c *Client) acquire(wait bool) error {
 func (c *Client) release(failed bool) {
 	c.mu.Lock()
 	c.inflight--
-	if failed {
-		c.stats.Failed++
-	} else {
-		c.stats.Done++
-	}
+	c.metrics.Window.Set(int64(c.inflight))
 	c.slotFree.Signal()
 	c.mu.Unlock()
+	if failed {
+		c.metrics.Failed.Inc()
+	} else {
+		c.metrics.Done.Inc()
+	}
 }
 
 // do issues one request inside the window discipline. cb receives the
@@ -207,9 +241,19 @@ func (c *Client) do(wait bool, m *wire.Msg, cb func(*wire.Msg, error)) error {
 	if err := c.acquire(wait); err != nil {
 		return err
 	}
+	var start int64
+	if c.cfg.NowNS != nil {
+		start = c.cfg.NowNS()
+	}
+	kind := m.Kind
 	_, err := c.conn.Call(m, func(r *wire.Msg, err error) {
 		if err == nil {
 			err = r.Status.Err()
+		}
+		if c.cfg.NowNS != nil && err == nil {
+			if h := c.metrics.Latency[kind]; h != nil {
+				h.Observe(c.cfg.NowNS() - start)
+			}
 		}
 		c.release(err != nil)
 		cb(r, err)

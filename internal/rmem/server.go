@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/memctl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -64,6 +65,17 @@ type ServerConfig struct {
 	// DupWindow is the per-session duplicate-suppression window
 	// (wire.DefaultResponderWindow when zero).
 	DupWindow int
+	// Metrics receives the operation counters and service-time histograms.
+	// Nil gets a private, unregistered instance, so Stats() always works.
+	Metrics *ServerMetrics
+	// Responder, when set, aggregates every session's reliability counters.
+	// Nil gets a private instance shared across sessions all the same.
+	Responder *wire.ResponderMetrics
+	// NowNS supplies timestamps for the per-opcode service-time histograms
+	// and the trace ring (nanoseconds; wall or virtual). Nil disables both.
+	NowNS func() int64
+	// Trace, when non-nil, receives one StageServe record per request.
+	Trace *telemetry.TraceRing
 }
 
 // fill applies defaults and validates.
@@ -107,11 +119,11 @@ type ServerStats struct {
 // concurrent client sessions — the live stand-in for the paper's
 // non-preemptible NIC RMW pipeline (§3.2.1).
 type Server struct {
-	cfg ServerConfig
+	cfg     ServerConfig
+	metrics *ServerMetrics
 
-	mu    sync.Mutex
-	mem   *memctl.Controller // guarded by mu (the slab: Controller is not itself thread-safe)
-	stats ServerStats        // guarded by mu
+	mu  sync.Mutex
+	mem *memctl.Controller // guarded by mu (the slab: Controller is not itself thread-safe)
 }
 
 // NewServer builds a memory node with the given slab/slot geometry.
@@ -119,25 +131,45 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewServerMetrics(nil)
+	}
+	if cfg.Responder == nil {
+		cfg.Responder = wire.NewResponderMetrics(nil)
+	}
 	mcfg := memctl.DefaultConfig()
 	mcfg.Size = cfg.SlabBytes
-	return &Server{cfg: cfg, mem: memctl.New(mcfg)}, nil
+	return &Server{cfg: cfg, metrics: cfg.Metrics, mem: memctl.New(mcfg)}, nil
 }
 
 // Geometry reports the slab layout advertised to clients.
 func (s *Server) Geometry() Geometry { return s.cfg.Geometry }
 
-// Stats returns a snapshot of the operation counters.
+// Stats snapshots the operation counters from the server's metrics.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	m := s.metrics
+	return ServerStats{
+		Hellos:       m.Ops[wire.KindHello].Load(),
+		Byes:         m.Ops[wire.KindBye].Load(),
+		Reads:        m.Ops[wire.KindRREQ].Load(),
+		Writes:       m.Ops[wire.KindWREQ].Load(),
+		RMWs:         m.Ops[wire.KindRMWREQ].Load(),
+		Errors:       m.Errors.Load(),
+		BytesRead:    m.BytesRead.Load(),
+		BytesWritten: m.BytesWritten.Load(),
+		ModeledDRAM:  sim.Time(m.ModeledDRAMPS.Load()),
+	}
 }
 
+// Metrics returns the server's metrics instance (never nil after NewServer).
+func (s *Server) Metrics() *ServerMetrics { return s.metrics }
+
 // NewSession builds the reliable server half for one client, replying over
-// pipe. Each session gets its own duplicate-suppression window.
+// pipe. Each session gets its own duplicate-suppression window; all sessions
+// share the server's responder metrics.
 func (s *Server) NewSession(pipe wire.Pipe) *wire.Responder {
-	return wire.NewResponder(pipe, wire.ResponderConfig{Window: s.cfg.DupWindow}, s.Handle)
+	return wire.NewResponder(pipe, wire.ResponderConfig{
+		Window: s.cfg.DupWindow, Metrics: s.cfg.Responder}, s.Handle)
 }
 
 // statusOf maps a memctl error to a wire status.
@@ -159,57 +191,71 @@ func statusOf(err error) wire.Status {
 //
 //edmlint:hotpath one Handle per served request
 func (s *Server) Handle(m *wire.Msg) *wire.Msg {
+	var start int64
+	if s.cfg.NowNS != nil {
+		start = s.cfg.NowNS()
+	}
+	mt := s.metrics
+	if c := mt.Ops[m.Kind]; c != nil {
+		c.Inc()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	//edmlint:allow hotpath one response message per request is the protocol
 	resp := &wire.Msg{Kind: m.Kind.Response(), ID: m.ID}
 	switch m.Kind {
 	case wire.KindHello:
-		s.stats.Hellos++
 		resp.Data = s.cfg.Geometry.Encode()
 	case wire.KindBye:
-		s.stats.Byes++
 	case wire.KindRREQ:
-		s.stats.Reads++
 		if m.Count > wire.MaxData {
-			s.stats.Errors++
 			resp.Status = wire.StatusRange
 			break
 		}
 		data, lat, err := s.mem.Read(m.Addr, int(m.Count))
 		if err != nil {
-			s.stats.Errors++
 			resp.Status = statusOf(err)
 			break
 		}
-		s.stats.BytesRead += uint64(len(data))
-		s.stats.ModeledDRAM += lat
+		mt.BytesRead.Add(uint64(len(data)))
+		mt.ModeledDRAMPS.Add(uint64(lat))
 		resp.Data = data
 	case wire.KindWREQ:
-		s.stats.Writes++
 		lat, err := s.mem.Write(m.Addr, m.Data)
 		if err != nil {
-			s.stats.Errors++
 			resp.Status = statusOf(err)
 			break
 		}
-		s.stats.BytesWritten += uint64(len(m.Data))
-		s.stats.ModeledDRAM += lat
+		mt.BytesWritten.Add(uint64(len(m.Data)))
+		mt.ModeledDRAMPS.Add(uint64(lat))
 	case wire.KindRMWREQ:
-		s.stats.RMWs++
 		result, lat, err := s.mem.RMW(m.Addr, memctl.RMWOp(m.Op), m.Args...)
 		if err != nil {
-			s.stats.Errors++
 			resp.Status = statusOf(err)
 			break
 		}
-		s.stats.ModeledDRAM += lat
+		mt.ModeledDRAMPS.Add(uint64(lat))
 		resp.Data = make([]byte, 8)
 		binary.LittleEndian.PutUint64(resp.Data, result)
 	default:
-		s.stats.Errors++
 		//edmlint:allow hotpath cold path: unknown request kind
 		resp = &wire.Msg{Kind: wire.KindByeAck, ID: m.ID, Status: wire.StatusProto}
+	}
+	s.mu.Unlock()
+	if resp.Status != wire.StatusOK {
+		mt.Errors.Inc()
+	}
+	if s.cfg.NowNS != nil {
+		dur := s.cfg.NowNS() - start
+		if h := mt.Latency[m.Kind]; h != nil {
+			h.Observe(dur)
+		}
+		if s.cfg.Trace != nil {
+			var d uint64
+			if dur > 0 {
+				d = uint64(dur)
+			}
+			s.cfg.Trace.Record(uint64(m.ID), telemetry.StageServe, uint8(m.Kind), start, d)
+		}
 	}
 	return resp
 }

@@ -138,8 +138,36 @@ func runLive(spec *Spec) (*Report, error) {
 	addrs := part.Stream("addr")
 	addrSpace := srv.Geometry().SlabBytes - maxFabricMsg
 	buf := make([]byte, maxFabricMsg)
+
+	// Per-phase transport deltas: counters are snapshotted at every phase
+	// boundary of the (arrival-ordered) replay, so each phase's row in the
+	// report attributes the retransmissions and fault hits it caused.
+	// Handshake traffic lands in the baseline snapshot, not phase 0.
+	type wireSnap struct {
+		cs wire.ConnStats
+		ls wire.LoopbackStats
+	}
+	deltas := make([]WireDelta, len(spec.Phases))
+	lastPhase := -1
+	var snap wireSnap
+	boundary := func(next int) {
+		s := wireSnap{client.ConnStats(), lb.Stats()}
+		if lastPhase >= 0 {
+			d := &deltas[lastPhase]
+			d.Sent += s.cs.Sent - snap.cs.Sent
+			d.Retransmits += s.cs.Retransmit - snap.cs.Retransmit
+			d.Timeouts += s.cs.Timeouts - snap.cs.Timeouts
+			d.Dropped += s.ls.Dropped - snap.ls.Dropped
+			d.Corrupted += s.ls.Corrupted - snap.ls.Corrupted
+		}
+		snap, lastPhase = s, next
+	}
+	boundary(-1)
 	for i := range tagged {
 		op := tagged[i].op
+		if tagged[i].meta.phase != lastPhase {
+			boundary(tagged[i].meta.phase)
+		}
 		if op.Size > maxFabricMsg {
 			op.Size = maxFabricMsg
 		}
@@ -160,6 +188,7 @@ func runLive(spec *Spec) (*Report, error) {
 		curMu.Unlock()
 		results[i] = opDone{ok: opErr == nil, latency: lb.Now() - start}
 	}
+	boundary(-1)
 	liveHorizon := lb.Now()
 	connStats := client.ConnStats()
 	client.Close()
@@ -204,6 +233,7 @@ func runLive(spec *Spec) (*Report, error) {
 		prs[i].Name = ph.Name
 		prs[i].Start = bounds[i].start
 		prs[i].End = bounds[i].end
+		prs[i].Wire = &deltas[i]
 	}
 	for i, t := range tagged {
 		pr := &prs[t.meta.phase]

@@ -23,6 +23,20 @@ type PhaseReport struct {
 	Corrupt  int           // ops hit by corruption in this phase
 	Failover int           // ops rerouted around a dead link in this phase
 	Dropped  int           // ops lost to dead links / leave / join
+	// Wire, on the live backend, is the reliable layer's activity during
+	// the phase: deltas of the transport counters snapshotted at phase
+	// boundaries. Nil on the other backends.
+	Wire *WireDelta
+}
+
+// WireDelta is the transport activity attributed to one phase of a live
+// run (counter differences between the phase's boundary snapshots).
+type WireDelta struct {
+	Sent        uint64 // datagrams transmitted (retransmissions included)
+	Retransmits uint64
+	Timeouts    uint64 // ops that exhausted their retry budget
+	Dropped     uint64 // datagrams the fault hook dropped
+	Corrupted   uint64 // datagrams the fault hook corrupted
 }
 
 // Report is a completed scenario run. All fields are deterministic
@@ -84,6 +98,10 @@ func (r *Report) Format(w io.Writer) error {
 		}
 		if p.Norm.N > 0 {
 			fmt.Fprintf(tw, "  normalized\t%s\n", p.Norm.Row())
+		}
+		if p.Wire != nil {
+			fmt.Fprintf(tw, "  wire\tsent %d retransmits %d timeouts %d dropped %d corrupted %d\n",
+				p.Wire.Sent, p.Wire.Retransmits, p.Wire.Timeouts, p.Wire.Dropped, p.Wire.Corrupted)
 		}
 	}
 	return tw.Flush()

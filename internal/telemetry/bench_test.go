@@ -1,0 +1,62 @@
+// Benchmarks for the telemetry primitives themselves: every number here
+// is paid once per op on an instrumented hot path, so each must be a few
+// nanoseconds and allocation-free. Run with:
+//
+//	go test -bench=. -benchmem ./internal/telemetry
+package telemetry
+
+import "testing"
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)&0xffff + 1)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v<<1&0xffff + 1
+		}
+	})
+}
+
+func BenchmarkTraceRingRecord(b *testing.B) {
+	r := NewTraceRing(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(uint64(i), StageComplete, 2, int64(i), 0)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in the Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry's JSON snapshot form.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+// TraceHandler serves a trace ring's records oldest-first as JSON. A nil
+// ring serves an empty list, so the route can be mounted unconditionally.
+func TraceHandler(t *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := t.SnapshotRecords()
+		if recs == nil {
+			recs = []OpRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(recs)
+	})
+}
+
+// AdminMux assembles the admin endpoint a daemon mounts on its -metrics
+// address:
+//
+//	/metrics          Prometheus text exposition
+//	/metrics.json     JSON snapshot of the same registry
+//	/healthz          liveness probe ("ok")
+//	/debug/traceops   the op trace ring, oldest-first
+//	/debug/vars       expvar (cmdline, memstats)
+//	/debug/pprof/*    the standard profiling surface
+//
+// The pprof handlers are mounted explicitly rather than via the package's
+// DefaultServeMux side effect, so daemons that never enable -metrics
+// expose nothing.
+func AdminMux(r *Registry, t *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/traceops", TraceHandler(t))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

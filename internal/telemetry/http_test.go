@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func fetch(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestAdminMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_ops_total").Add(9)
+	reg.Histogram(`admin_lat_ns{op="read"}`).Observe(1234)
+	ring := NewTraceRing(8)
+	ring.Record(3, StageComplete, 5, 42, 1234)
+
+	srv := httptest.NewServer(AdminMux(reg, ring))
+	defer srv.Close()
+
+	if got := fetch(t, srv, "/healthz"); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+	metrics := fetch(t, srv, "/metrics")
+	for _, want := range []string{
+		"admin_ops_total 9",
+		`admin_lat_ns_count{op="read"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(fetch(t, srv, "/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counters["admin_ops_total"] != 9 {
+		t.Errorf("/metrics.json counters: %+v", snap.Counters)
+	}
+
+	var recs []OpRecord
+	if err := json.Unmarshal([]byte(fetch(t, srv, "/debug/traceops")), &recs); err != nil {
+		t.Fatalf("/debug/traceops: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != 3 || recs[0].Arg != 1234 {
+		t.Errorf("/debug/traceops = %+v", recs)
+	}
+
+	if vars := fetch(t, srv, "/debug/vars"); !strings.Contains(vars, "memstats") {
+		t.Error("/debug/vars missing memstats")
+	}
+	if idx := fetch(t, srv, "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+// TestTraceHandlerNilRing: the route stays mountable with tracing off.
+func TestTraceHandlerNilRing(t *testing.T) {
+	srv := httptest.NewServer(AdminMux(NewRegistry(), nil))
+	defer srv.Close()
+	if got := strings.TrimSpace(fetch(t, srv, "/debug/traceops")); got != "[]" {
+		t.Errorf("/debug/traceops with nil ring = %q, want []", got)
+	}
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric. name is the full registered form
+// (`base{label="v",...}` or bare `base`); base and labels are the split
+// parts the Prometheus encoder works from.
+type entry struct {
+	name   string
+	base   string
+	labels string // inside the braces, without them; "" if none
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named metric namespace. Registration (Counter, Gauge,
+// Histogram) is mutex-guarded and string-keyed — setup-time work; the
+// returned metric pointers are what hot paths touch. Registering the same
+// name twice returns the same metric, so components can share counters
+// (e.g. every session of one server aggregating into one family).
+//
+// A nil *Registry is valid everywhere and returns unregistered metrics:
+// components that are not wired to an export surface still count, and
+// their Stats() snapshots still work.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// splitName separates `base{labels}` into its parts.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// register returns the entry for name, creating it with kind k. A name
+// reused with a different kind panics: that is a wiring bug, caught at
+// setup time.
+func (r *Registry) register(name string, k metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("telemetry: %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	base, labels := splitName(name)
+	e := &entry{name: name, base: base, labels: labels, kind: k}
+	switch k {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	}
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the counter registered under name (created on first
+// use). name may carry Prometheus-style labels: `wire_sent_total{kind="RREQ"}`.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	return r.register(name, kindHistogram).h
+}
+
+// sorted snapshots the entry list ordered by (base, labels), the stable
+// order both exposition forms use.
+func (r *Registry) sorted() []*entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one `# TYPE` line per family, then its series). Histograms emit
+// cumulative `_bucket` series at each non-empty bucket's upper bound plus
+// `+Inf`, with `_sum` and `_count`. Latency histograms are exported in
+// their native nanoseconds (the metric names say so) rather than rescaled
+// to seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	entries := r.sorted()
+	lastBase := ""
+	for _, e := range entries {
+		if e.base != lastBase {
+			lastBase = e.base
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.base, typeName(e.kind)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Load())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Load())
+		case kindHistogram:
+			err = writePromHistogram(w, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// series renders base+suffix with labels, splicing extra (e.g. `le="…"`)
+// into the label set.
+func series(base, suffix, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + all + "}"
+}
+
+func writePromHistogram(w io.Writer, e *entry) error {
+	var cum uint64
+	for i := 0; i < NumHistBuckets; i++ {
+		c := e.h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := BucketBounds(i)
+		le := `le="` + strconv.FormatUint(hi, 10) + `"`
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(e.base, "_bucket", e.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", series(e.base, "_bucket", e.labels, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", series(e.base, "_sum", e.labels, ""), e.h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", series(e.base, "_count", e.labels, ""), cum)
+	return err
+}
+
+// Snapshot is the registry's JSON form: full registered names mapped to
+// values, histograms as their summary form. encoding/json renders map keys
+// sorted, so marshaling a snapshot is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.c.Load()
+		case kindGauge:
+			s.Gauges[e.name] = e.g.Load()
+		case kindHistogram:
+			s.Histograms[e.name] = e.h.Snapshot()
+		}
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import "sync"
+
+// Stage labels one event in an operation's life. The vocabulary follows
+// the reliable layer's op lifecycle; StageServe is the server-side record.
+type Stage uint8
+
+const (
+	// StageEnqueue: the op was assigned its message ID.
+	StageEnqueue Stage = iota + 1
+	// StageSend: the first transmission left the pipe.
+	StageSend
+	// StageRetry: a retransmission fired (Arg carries the attempt number).
+	StageRetry
+	// StageComplete: the matching response arrived (Arg carries the
+	// end-to-end latency in nanoseconds when a clock is wired).
+	StageComplete
+	// StageTimeout: the retry budget ran out (Arg carries the attempts).
+	StageTimeout
+	// StageServe: the server executed the request (Arg carries the handle
+	// duration in nanoseconds when a clock is wired).
+	StageServe
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageEnqueue:
+		return "enqueue"
+	case StageSend:
+		return "send"
+	case StageRetry:
+		return "retry"
+	case StageComplete:
+		return "complete"
+	case StageTimeout:
+		return "timeout"
+	case StageServe:
+		return "serve"
+	}
+	return "stage?"
+}
+
+// OpRecord is one trace-ring event. Records are fixed-size and
+// pointer-free; Op is the wire message kind (uint8 to keep this package
+// dependency-free), TS is a caller-supplied timestamp in nanoseconds (wall
+// or virtual — the ring does not care), and Arg is stage-specific.
+type OpRecord struct {
+	Seq   uint64 `json:"seq"`
+	ID    uint64 `json:"id"`
+	TS    int64  `json:"ts_ns"`
+	Stage Stage  `json:"stage"`
+	Op    uint8  `json:"op"`
+	Arg   uint64 `json:"arg"`
+}
+
+// TraceRing is a bounded ring of per-op event records: enough to explain
+// why an individual op was slow (how many retries, where the time went)
+// without unbounded logging. Recording into a nil ring is a no-op, so
+// call sites stay unconditional; a mutex (not a lock-free slot claim)
+// keeps whole records torn-write-free under the race detector. The ring
+// allocates only at construction.
+type TraceRing struct {
+	mu   sync.Mutex
+	recs []OpRecord
+	next uint64 // total records ever written; next slot is next % len
+}
+
+// NewTraceRing builds a ring holding the last n records (minimum 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{recs: make([]OpRecord, n)}
+}
+
+// Record appends one event, overwriting the oldest once full. The Seq
+// field is assigned here (global arrival order).
+func (t *TraceRing) Record(id uint64, stage Stage, op uint8, ts int64, arg uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	rec := OpRecord{Seq: t.next, ID: id, TS: ts, Stage: stage, Op: op, Arg: arg}
+	t.recs[t.next%uint64(len(t.recs))] = rec
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len reports how many records the ring currently holds.
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.recs)) {
+		return int(t.next)
+	}
+	return len(t.recs)
+}
+
+// SnapshotRecords returns the held records oldest-first.
+func (t *TraceRing) SnapshotRecords() []OpRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.recs))
+	out := make([]OpRecord, 0, n)
+	start := uint64(0)
+	if t.next > n {
+		start = t.next - n
+	}
+	for s := start; s < t.next; s++ {
+		out = append(out, t.recs[s%n])
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package telemetry is the repo's allocation-free, dependency-free metrics
+// core: atomic counters, gauges and fixed-size log-bucketed latency
+// histograms behind a named registry, with a Prometheus-text exposition
+// encoder and a JSON snapshot form (registry.go), a bounded per-op trace
+// ring (ring.go), and an HTTP admin surface (http.go).
+//
+// Two properties shape the design:
+//
+//   - Hot-path safety. Recording is a handful of atomic adds on
+//     pre-registered metric pointers — no locks, no allocation, no map
+//     lookups. Registry lookups (string-keyed, mutex-guarded) belong at
+//     setup time only; edmlint's hotpath analyzer flags them inside
+//     //edmlint:hotpath functions.
+//
+//   - Clock agnosticism. The package never reads a clock: callers pass
+//     timestamps and durations (int64 nanoseconds), so deterministic
+//     packages can observe virtual-clock latencies without tripping the
+//     walltime analyzer, and seeded loopback runs stay byte-reproducible
+//     with telemetry enabled.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; Registry.Counter returns a named, exported one.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. in-flight operations,
+// window occupancy). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout: values 0..15 get exact unit buckets; above that,
+// each power-of-two octave splits into histSub linear sub-buckets, so the
+// relative bucket width — and therefore the worst-case quantile error — is
+// 1/histSub (6.25%). The layout covers all of uint64, so there is no
+// overflow bucket to saturate.
+const (
+	histSub     = 16
+	histSubBits = 4
+	// NumHistBuckets is the fixed bucket count: histSub exact unit buckets
+	// plus histSub per octave for exponents histSubBits..63.
+	NumHistBuckets = histSub * (64 - histSubBits + 1)
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	s := uint(exp - histSubBits)
+	return histSub*(int(s)+1) + int((v>>s)&(histSub-1))
+}
+
+// BucketBounds reports bucket i's half-open value range [lo, hi).
+func BucketBounds(i int) (lo, hi uint64) {
+	if i < histSub {
+		return uint64(i), uint64(i) + 1
+	}
+	s := uint(i/histSub - 1)
+	m := uint64(i % histSub)
+	lo = (histSub + m) << s
+	return lo, lo + 1<<s
+}
+
+// Histogram is a fixed-size log-bucketed distribution of non-negative
+// int64 observations (canonically latencies in nanoseconds). Observing is
+// three atomic adds; negative observations clamp to zero. The zero value is
+// ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [NumHistBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	h.buckets[bucketIndex(uint64(v))].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the running total of observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// HistSnapshot is a histogram's point-in-time summary. Min and Max are
+// bucket-resolution estimates (the bounds of the extreme non-empty
+// buckets), and the quantiles carry the layout's 1/16 relative error.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Concurrent observations may land
+// between the count and bucket reads; the snapshot is internally consistent
+// to within those in-flight updates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [NumHistBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := HistSnapshot{Count: total, Sum: h.sum.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(total)
+	for i, c := range counts {
+		if c > 0 {
+			lo, _ := BucketBounds(i)
+			s.Min = float64(lo)
+			break
+		}
+	}
+	for i := NumHistBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			_, hi := BucketBounds(i)
+			s.Max = float64(hi)
+			break
+		}
+	}
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P90 = quantile(&counts, total, 0.90)
+	s.P99 = quantile(&counts, total, 0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the live buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [NumHistBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	return quantile(&counts, total, q)
+}
+
+// quantile mirrors stats.Percentile's rank convention (pos = q*(n-1)) so
+// histogram-reported percentiles are comparable to stats.Summarize rows on
+// the same samples, then interpolates linearly inside the landing bucket.
+func quantile(counts *[NumHistBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(total-1) // fractional rank, 0-indexed
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		// Ranks [cum, cum+c) live in bucket i.
+		if pos < float64(cum+c) {
+			lo, hi := BucketBounds(i)
+			frac := (pos - float64(cum) + 0.5) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	// pos == total-1 landed past the loop due to float rounding: the max.
+	for i := NumHistBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			_, hi := BucketBounds(i)
+			return float64(hi)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestBucketLayout: every value lands in a bucket whose bounds contain it,
+// bounds tile the space without gaps, and relative width is <= 1/16.
+func TestBucketLayout(t *testing.T) {
+	vals := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		lo, hi := BucketBounds(i)
+		if v < lo || (hi != 0 && v >= hi) { // hi==0: top bucket wrapped past MaxUint64
+			if !(hi == 0 && v >= lo) {
+				t.Errorf("value %d landed in bucket %d [%d, %d)", v, i, lo, hi)
+			}
+		}
+	}
+	prevHi := uint64(0)
+	for i := 0; i < NumHistBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if lo >= histSub && hi != 0 {
+			if width := hi - lo; float64(width)/float64(lo) > 1.0/16+1e-12 {
+				t.Fatalf("bucket %d [%d,%d) relative width %f > 1/16", i, lo, hi, float64(hi-lo)/float64(lo))
+			}
+		}
+		prevHi = hi
+	}
+}
+
+// TestHistogramQuantilesMatchSummarize is the property test: on the same
+// samples, histogram-reported p50/p90/p99 agree with stats.Summarize
+// within the bucket resolution (1/16 relative, interpolation included),
+// across several seeded distributions.
+func TestHistogramQuantilesMatchSummarize(t *testing.T) {
+	part := workload.NewPartition(0xED31)
+	dists := []struct {
+		name string
+		gen  func(r *workload.Rand) float64
+	}{
+		{"uniform", func(r *workload.Rand) float64 { return float64(r.Intn(2_000_000)) }},
+		{"exponential", func(r *workload.Rand) float64 { return r.Exp(50_000) }},
+		{"bimodal", func(r *workload.Rand) float64 {
+			if r.Float64() < 0.9 {
+				return 2_000 + float64(r.Intn(500))
+			}
+			return 1_000_000 + float64(r.Intn(200_000))
+		}},
+		{"small", func(r *workload.Rand) float64 { return float64(r.Intn(12)) }},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := part.Stream(d.name)
+			var h Histogram
+			samples := make([]float64, 0, 20_000)
+			for i := 0; i < 20_000; i++ {
+				v := math.Floor(d.gen(r))
+				samples = append(samples, v)
+				h.Observe(int64(v))
+			}
+			want := stats.Summarize(samples)
+			snap := h.Snapshot()
+			if snap.Count != uint64(len(samples)) {
+				t.Fatalf("count %d, want %d", snap.Count, len(samples))
+			}
+			check := func(name string, got, want float64) {
+				// One bucket of slack on each side: 1/16 relative plus a
+				// one-unit absolute floor for the exact small buckets.
+				tol := want/16 + 1.5
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s: histogram %f vs Summarize %f (tolerance %f)", name, got, want, tol)
+				}
+			}
+			check("p50", snap.P50, want.P50)
+			check("p90", snap.P90, want.P90)
+			check("p99", snap.P99, want.P99)
+			check("p99 via Quantile", h.Quantile(0.99), want.P99)
+			if snap.Min > want.Min+1 || snap.Min < want.Min-want.Min/16-1 {
+				t.Errorf("min estimate %f vs %f", snap.Min, want.Min)
+			}
+			if snap.Max < want.Max || snap.Max > want.Max+want.Max/8+2 {
+				t.Errorf("max estimate %f vs %f", snap.Max, want.Max)
+			}
+		})
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if snap := h.Snapshot(); snap.Count != 1 || snap.Sum != 0 {
+		t.Fatalf("negative observation: %+v", snap)
+	}
+}
+
+func TestRegistrySharingAndNil(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`x_total{kind="a"}`)
+	b := r.Counter(`x_total{kind="a"}`)
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	if got := r.Snapshot().Counters[`x_total{kind="a"}`]; got != 1 {
+		t.Fatalf("snapshot counter = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	var nilReg *Registry
+	if c := nilReg.Counter("y"); c == nil {
+		t.Fatal("nil registry must hand out working metrics")
+	}
+	nilReg.Gauge("y").Set(1)
+	nilReg.Histogram("y").Observe(1)
+	r.Gauge(`x_total{kind="a"}`) // same name, different kind: panics
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{op="read"}`).Add(3)
+	r.Counter(`ops_total{op="write"}`).Add(1)
+	r.Gauge("inflight").Set(2)
+	h := r.Histogram(`lat_ns{op="read"}`)
+	h.Observe(10)
+	h.Observe(100)
+	h.Observe(100000)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE inflight gauge\ninflight 2\n",
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{op="read",le="11"} 1`,
+		`lat_ns_bucket{op="read",le="+Inf"} 3`,
+		`lat_ns_sum{op="read"} 100110`,
+		`lat_ns_count{op="read"} 3`,
+		"# TYPE ops_total counter\n",
+		`ops_total{op="read"} 3`,
+		`ops_total{op="write"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative:\n%s", out)
+		}
+		last = n
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	var nilRing *TraceRing
+	nilRing.Record(1, StageSend, 0, 0, 0) // must not panic
+	if nilRing.Len() != 0 || nilRing.SnapshotRecords() != nil {
+		t.Fatal("nil ring must be empty")
+	}
+
+	ring := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		ring.Record(uint64(i), StageSend, 5, int64(i*10), 0)
+	}
+	recs := ring.SnapshotRecords()
+	if len(recs) != 4 || ring.Len() != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.ID != uint64(i+2) || rec.Seq != uint64(i+2) {
+			t.Fatalf("record %d = %+v, want ID/Seq %d (oldest-first after wrap)", i, rec, i+2)
+		}
+	}
+	if got := recs[0].Stage.String(); got != "send" {
+		t.Fatalf("stage name %q", got)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ring.Record(uint64(g), StageRetry, 1, int64(i), uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ring.Len(); got != 64 {
+		t.Fatalf("ring length %d, want 64", got)
+	}
+}

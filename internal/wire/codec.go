@@ -59,6 +59,9 @@ const (
 	kindMax = KindRMWRESP
 )
 
+// NumKinds sizes per-kind arrays (index by Kind; slot 0 is unused).
+const NumKinds = int(kindMax) + 1
+
 // String names the kind.
 func (k Kind) String() string {
 	switch k {

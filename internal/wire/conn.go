@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Pipe is one unreliable datagram path to a single peer. Send is best-effort
@@ -32,6 +34,17 @@ type ConnConfig struct {
 	// RetryTimeout * (MaxRetries + 1). Zero means the default; a negative
 	// value disables retransmission entirely (single-attempt fail-fast).
 	MaxRetries int
+	// Metrics receives the reliability counters. Nil gets a private,
+	// unregistered instance, so Stats() works either way; pass a shared
+	// instance to aggregate several connections into one family.
+	Metrics *ConnMetrics
+	// NowNS supplies timestamps (nanoseconds; wall or virtual — the layer
+	// never reads a clock itself, keeping deterministic transports
+	// byte-reproducible). Nil disables per-op latency in the trace ring.
+	NowNS func() int64
+	// Trace, when non-nil, receives one record per op lifecycle event
+	// (enqueue/send/retry/complete/timeout).
+	Trace *telemetry.TraceRing
 }
 
 // DefaultConnConfig returns the tuning used by the CLIs: 20 ms per attempt,
@@ -49,6 +62,9 @@ func (c *ConnConfig) fill() {
 		c.MaxRetries = 0
 	case c.MaxRetries == 0:
 		c.MaxRetries = DefaultConnConfig().MaxRetries
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewConnMetrics(nil)
 	}
 }
 
@@ -68,6 +84,7 @@ type call struct {
 	want     Kind   // expected response kind
 	cb       func(*Msg, error)
 	timer    *time.Timer
+	start    int64 // NowNS at issue (0 when no clock is wired)
 	attempts int
 	done     bool
 }
@@ -87,7 +104,6 @@ type Conn struct {
 	nextID  uint32           // guarded by mu
 	pending map[uint32]*call // guarded by mu
 	closed  bool             // guarded by mu
-	stats   ConnStats        // guarded by mu
 }
 
 // NewConn builds a reliable connection over pipe. The owner must route
@@ -97,12 +113,22 @@ func NewConn(pipe Pipe, cfg ConnConfig) *Conn {
 	return &Conn{cfg: cfg, pipe: pipe, pending: make(map[uint32]*call)}
 }
 
-// Stats returns a snapshot of the reliability counters.
+// Stats snapshots the reliability counters from the connection's metrics
+// (shared ConnMetrics aggregate across every Conn they back).
 func (c *Conn) Stats() ConnStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	m := c.cfg.Metrics
+	return ConnStats{
+		Sent:       m.Datagrams.Load(),
+		Retransmit: m.Retransmits.Load(),
+		Responses:  m.Responses.Load(),
+		Stray:      m.Stray.Load(),
+		Garbage:    m.Garbage.Load(),
+		Timeouts:   m.Timeouts.Load(),
+	}
 }
+
+// Metrics returns the connection's metrics instance (never nil after NewConn).
+func (c *Conn) Metrics() *ConnMetrics { return c.cfg.Metrics }
 
 // Call transmits a request and invokes cb exactly once: with the response,
 // or with ErrTimeout after the retry budget, or with ErrClosed if the
@@ -130,16 +156,34 @@ func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
 	}
 	//edmlint:allow hotpath one call record per op is the protocol's bookkeeping
 	cl := &call{enc: enc, want: m.Kind.Response(), cb: cb, attempts: 1}
+	if c.cfg.NowNS != nil {
+		cl.start = c.cfg.NowNS()
+	}
 	c.pending[id] = cl
-	c.stats.Sent++
 	c.mu.Unlock()
+	mt := c.cfg.Metrics
+	mt.Datagrams.Inc()
+	mt.Requests[m.Kind].Inc()
+	mt.InFlight.Add(1)
+	c.cfg.Trace.Record(uint64(id), telemetry.StageEnqueue, uint8(m.Kind), cl.start, 0)
 	// Send outside the lock: a synchronous transport (loopback) delivers
 	// the response in this same stack, re-entering Deliver. A transport
 	// error is treated like a lost datagram — the retry timer armed below
 	// will either get through or time the call out.
 	c.pipe.Send(enc)
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(uint64(id), telemetry.StageSend, uint8(m.Kind), c.timestamp(), 0)
+	}
 	c.arm(id, cl)
 	return id, nil
+}
+
+// timestamp reads the configured clock; zero when none is wired.
+func (c *Conn) timestamp() int64 {
+	if c.cfg.NowNS == nil {
+		return 0
+	}
+	return c.cfg.NowNS()
 }
 
 // arm starts (or restarts) the retransmission timer for a call, after its
@@ -174,18 +218,26 @@ func (c *Conn) retry(id uint32) {
 	if cl.attempts > c.cfg.MaxRetries {
 		cl.done = true
 		delete(c.pending, id)
-		c.stats.Timeouts++
 		c.mu.Unlock()
+		c.cfg.Metrics.Timeouts.Inc()
+		c.cfg.Metrics.InFlight.Add(-1)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Record(uint64(id), telemetry.StageTimeout, uint8(cl.want), c.timestamp(), uint64(cl.attempts))
+		}
 		if cl.cb != nil {
 			cl.cb(nil, fmt.Errorf("%w (after %d attempts)", ErrTimeout, cl.attempts))
 		}
 		return
 	}
 	cl.attempts++
-	c.stats.Sent++
-	c.stats.Retransmit++
+	attempts := cl.attempts
 	c.mu.Unlock()
+	c.cfg.Metrics.Datagrams.Inc()
+	c.cfg.Metrics.Retransmits.Inc()
 	c.pipe.Send(cl.enc)
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(uint64(id), telemetry.StageRetry, uint8(cl.want), c.timestamp(), uint64(attempts))
+	}
 	c.arm(id, cl)
 }
 
@@ -195,18 +247,17 @@ func (c *Conn) retry(id uint32) {
 //edmlint:hotpath one Deliver per response datagram
 func (c *Conn) Deliver(p []byte) {
 	m, err := Decode(p)
-	c.mu.Lock()
 	if err != nil {
-		c.stats.Garbage++
-		c.mu.Unlock()
+		c.cfg.Metrics.Garbage.Inc()
 		return
 	}
+	c.mu.Lock()
 	cl, ok := c.pending[m.ID]
 	if !ok || cl.done || cl.want != m.Kind {
 		// A response for a call that already timed out, a duplicate of one
 		// already delivered, or a kind mismatch.
-		c.stats.Stray++
 		c.mu.Unlock()
+		c.cfg.Metrics.Stray.Inc()
 		return
 	}
 	cl.done = true
@@ -214,8 +265,18 @@ func (c *Conn) Deliver(p []byte) {
 	if cl.timer != nil {
 		cl.timer.Stop()
 	}
-	c.stats.Responses++
 	c.mu.Unlock()
+	c.cfg.Metrics.Responses.Inc()
+	c.cfg.Metrics.RecvByKind[m.Kind].Inc()
+	c.cfg.Metrics.InFlight.Add(-1)
+	if c.cfg.Trace != nil {
+		now := c.timestamp()
+		var lat uint64
+		if cl.start != 0 && now > cl.start {
+			lat = uint64(now - cl.start)
+		}
+		c.cfg.Trace.Record(uint64(m.ID), telemetry.StageComplete, uint8(m.Kind), now, lat)
+	}
 	if cl.cb != nil {
 		cl.cb(m, nil)
 	}
@@ -240,6 +301,7 @@ func (c *Conn) Abort(err error) {
 	c.mu.Lock()
 	calls := c.takePendingLocked()
 	c.mu.Unlock()
+	c.cfg.Metrics.InFlight.Add(-int64(len(calls)))
 	for _, cl := range calls {
 		if cl.cb != nil {
 			cl.cb(nil, err)
@@ -273,6 +335,7 @@ func (c *Conn) Close() error {
 	c.closed = true
 	calls := c.takePendingLocked()
 	c.mu.Unlock()
+	c.cfg.Metrics.InFlight.Add(-int64(len(calls)))
 	for _, cl := range calls {
 		if cl.cb != nil {
 			cl.cb(nil, ErrClosed)
@@ -289,6 +352,10 @@ type ResponderConfig struct {
 	// finds its cached response instead of re-executing — which keeps RMWs
 	// exactly-once.
 	Window int
+	// Metrics receives the responder counters. A server passes one shared
+	// instance to every session's responder, so the series aggregate over
+	// sessions. Nil gets a private, unregistered instance.
+	Metrics *ResponderMetrics
 }
 
 // DefaultResponderWindow is the default duplicate-suppression window.
@@ -318,12 +385,12 @@ type respEntry struct {
 type Responder struct {
 	pipe    Pipe
 	handler func(*Msg) *Msg
+	metrics *ResponderMetrics
 
 	mu     sync.Mutex
 	window int
 	cache  map[uint32]*respEntry // guarded by mu
 	order  []uint32              // guarded by mu
-	stats  ResponderStats        // guarded by mu
 }
 
 // NewResponder builds the server half over pipe. handler maps one fresh
@@ -333,15 +400,22 @@ func NewResponder(pipe Pipe, cfg ResponderConfig, handler func(*Msg) *Msg) *Resp
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultResponderWindow
 	}
-	return &Responder{pipe: pipe, handler: handler, window: cfg.Window,
-		cache: make(map[uint32]*respEntry, cfg.Window)}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewResponderMetrics(nil)
+	}
+	return &Responder{pipe: pipe, handler: handler, metrics: cfg.Metrics,
+		window: cfg.Window, cache: make(map[uint32]*respEntry, cfg.Window)}
 }
 
-// Stats returns a snapshot of the responder counters.
+// Stats snapshots the responder counters from its metrics (shared
+// ResponderMetrics aggregate across every session they back).
 func (r *Responder) Stats() ResponderStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return ResponderStats{
+		Requests:   r.metrics.Requests.Load(),
+		Duplicates: r.metrics.Duplicates.Load(),
+		Garbage:    r.metrics.Garbage.Load(),
+		Rejected:   r.metrics.Rejected.Load(),
+	}
 }
 
 // Deliver is the inbound datagram path for one client's requests.
@@ -350,23 +424,20 @@ func (r *Responder) Stats() ResponderStats {
 func (r *Responder) Deliver(p []byte) {
 	m, err := Decode(p)
 	if err != nil {
-		r.mu.Lock()
-		r.stats.Garbage++
-		r.mu.Unlock()
+		r.metrics.Garbage.Inc()
 		return
 	}
 	if !m.Kind.IsRequest() {
-		r.mu.Lock()
-		r.stats.Rejected++
-		r.mu.Unlock()
+		r.metrics.Rejected.Inc()
 		return
 	}
+	r.metrics.RecvByKind[m.Kind].Inc()
 	r.mu.Lock()
 	if e, ok := r.cache[m.ID]; ok {
 		// Duplicate: wait out a still-running first execution, then replay
 		// its response without re-executing.
-		r.stats.Duplicates++
 		r.mu.Unlock()
+		r.metrics.Duplicates.Inc()
 		<-e.done
 		r.pipe.Send(e.enc)
 		return
@@ -394,8 +465,8 @@ func (r *Responder) Deliver(p []byte) {
 	}
 	r.cache[m.ID] = e
 	r.order = append(r.order, m.ID)
-	r.stats.Requests++
 	r.mu.Unlock()
+	r.metrics.Requests.Inc()
 
 	resp := r.handler(m)
 	resp.ID = m.ID

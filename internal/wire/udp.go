@@ -109,11 +109,12 @@ type UDPServer struct {
 	conn   *net.UDPConn
 	accept func(remote string, reply Pipe) func([]byte)
 
-	mu       sync.Mutex
-	sessions map[string]*udpSession // guarded by mu
-	closed   bool                   // guarded by mu
-	done     chan struct{}
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	sessions    map[string]*udpSession // guarded by mu
+	sessMetrics *UDPServerMetrics      // guarded by mu
+	closed      bool                   // guarded by mu
+	done        chan struct{}
+	wg          sync.WaitGroup
 }
 
 // ListenUDP binds addr ("host:port"; port 0 picks a free one) and starts
@@ -128,11 +129,25 @@ func ListenUDP(addr string, accept func(remote string, reply Pipe) func([]byte))
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
 	s := &UDPServer{conn: conn, accept: accept,
-		sessions: make(map[string]*udpSession), done: make(chan struct{})}
+		sessions: make(map[string]*udpSession), done: make(chan struct{}),
+		sessMetrics: NewUDPServerMetrics(nil)}
 	s.wg.Add(2)
 	go s.readLoop()
 	go s.janitor()
 	return s, nil
+}
+
+// SetMetrics swaps in registered session-lifecycle metrics. Call it right
+// after ListenUDP, before clients connect; events counted on the default
+// (unregistered) instance are not carried over.
+func (s *UDPServer) SetMetrics(m *UDPServerMetrics) {
+	if m == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sessMetrics = m
+	m.Active.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
 }
 
 // Addr reports the bound listen address.
@@ -183,13 +198,19 @@ func (s *UDPServer) readLoop() {
 				token:   token,
 			}
 			s.sessions[key] = sess
+			s.sessMetrics.Started.Inc()
+			if ok && reset {
+				s.sessMetrics.Resets.Inc()
+			}
 		}
 		sess.lastSeen = time.Now()
 		if bye {
 			// Retired after this datagram's delivery below; the BYE-ACK
 			// goes out via the session's own reply pipe regardless.
 			delete(s.sessions, key)
+			s.sessMetrics.Retired.Inc()
 		}
+		s.sessMetrics.Active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
 		if sess.deliver == nil {
 			continue
@@ -218,8 +239,10 @@ func (s *UDPServer) janitor() {
 		for key, sess := range s.sessions {
 			if sess.lastSeen.Before(cutoff) {
 				delete(s.sessions, key)
+				s.sessMetrics.Expired.Inc()
 			}
 		}
+		s.sessMetrics.Active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
 	}
 }
@@ -241,7 +264,11 @@ func (s *UDPServer) Sessions() int {
 func (s *UDPServer) Forget(remote string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.sessions, remote)
+	if _, ok := s.sessions[remote]; ok {
+		delete(s.sessions, remote)
+		s.sessMetrics.Retired.Inc()
+	}
+	s.sessMetrics.Active.Set(int64(len(s.sessions)))
 }
 
 // Close stops the server and waits for in-flight handlers.

@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end observability smoke: boot edmd with the HTTP admin endpoint,
+# push a short edmload run through it over real UDP, then assert that
+# /healthz answers and /metrics exposes the per-opcode series the run must
+# have populated. Exercises the full path a dashboard would scrape.
+#
+# Usage: scripts/metrics_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/edmd_smoke ./cmd/edmd
+go build -o /tmp/edmload_smoke ./cmd/edmload
+
+log=$(mktemp)
+/tmp/edmd_smoke -listen 127.0.0.1:0 -metrics 127.0.0.1:0 -trace-ops 64 \
+    -slab 1048576 -slotbytes 256 >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# Wait for both listen lines (UDP data plane, HTTP admin plane).
+udp=""
+admin=""
+for _ in $(seq 1 50); do
+    udp=$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$log" | head -1)
+    admin=$(sed -n 's|.*metrics on http://\([^/]*\)/metrics.*|\1|p' "$log" | head -1)
+    [ -n "$udp" ] && [ -n "$admin" ] && break
+    sleep 0.1
+done
+if [ -z "$udp" ] || [ -z "$admin" ]; then
+    echo "metrics_smoke: edmd never reported its addresses:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+/tmp/edmload_smoke -addr "$udp" -profile memcached -count 200 -seed 1
+
+health=$(curl -fsS "http://$admin/healthz")
+if [ "$health" != "ok" ]; then
+    echo "metrics_smoke: /healthz said '$health', want 'ok'" >&2
+    exit 1
+fi
+
+metrics=$(curl -fsS "http://$admin/metrics")
+for want in \
+    'rmem_server_ops_total{op="read"}' \
+    'rmem_server_ops_total{op="write"}' \
+    'rmem_server_op_latency_ns_bucket{op="read"' \
+    'rmem_server_op_latency_ns_bucket{op="write"' \
+    'wire_udp_sessions_started_total' \
+    'wire_server_requests_total'; do
+    if ! printf '%s\n' "$metrics" | grep -qF "$want"; then
+        echo "metrics_smoke: /metrics missing $want" >&2
+        printf '%s\n' "$metrics" >&2
+        exit 1
+    fi
+done
+
+traces=$(curl -fsS "http://$admin/debug/traceops")
+if ! printf '%s\n' "$traces" | grep -q '"stage"'; then
+    echo "metrics_smoke: /debug/traceops has no records" >&2
+    exit 1
+fi
+
+echo "metrics_smoke: ok (udp $udp admin $admin)"
