@@ -5,11 +5,17 @@
 //	edmbench -experiment table1|fig5|fig6|fig7|fig8a|fig8b|ablations|incast|all
 //	         [-nodes N] [-ops N] [-seed N]
 //	edmbench -snapshot BENCH_1.json [-baseline BENCH_0.json]
+//	         [-count N] [-benchtime T] [-threshold pct]
 //
 // Output is textual rows matching the paper's presentation; see
 // EXPERIMENTS.md for the paper-vs-measured record. -snapshot instead runs
 // the wire/rmem Go benchmarks and records them as JSON (the BENCH_N.json
 // perf trajectory), optionally printing deltas against a baseline snapshot.
+// With -threshold the baseline comparison becomes a regression gate: the
+// key metrics (round-trip ns/op and allocs/op, pipelined ops/s) regressing
+// beyond pct percent exit nonzero, and an allocation-free baseline failing
+// allocation-free is an unconditional failure. CI's bench-gate job runs
+// this against the newest committed BENCH_*.json.
 package main
 
 import (
@@ -30,14 +36,21 @@ func main() {
 	fig7ops := flag.Int("fig7ops", 400, "YCSB operations per fig7 ratio")
 	snapshot := flag.String("snapshot", "", "run the wire/rmem benchmarks and write a JSON snapshot to this file")
 	baseline := flag.String("baseline", "", "with -snapshot: print deltas against this earlier snapshot")
+	count := flag.Int("count", 1, "with -snapshot: benchmark repetitions; the snapshot records the best of N")
+	benchtime := flag.String("benchtime", "", "with -snapshot: -benchtime passed to go test (e.g. 100ms)")
+	threshold := flag.Float64("threshold", 0, "with -snapshot and -baseline: exit nonzero when key metrics regress beyond this percentage")
 	flag.Parse()
 
 	if *snapshot != "" {
-		if err := runSnapshot(*snapshot, *baseline); err != nil {
+		if err := runSnapshot(*snapshot, *baseline, *count, *benchtime, *threshold); err != nil {
 			fmt.Fprintf(os.Stderr, "edmbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *threshold != 0 || *baseline != "" {
+		fmt.Fprintln(os.Stderr, "edmbench: -baseline/-threshold require -snapshot")
+		os.Exit(2)
 	}
 
 	cfg := experiments.Fig8Config{Nodes: *nodes, Bandwidth: 100, OpsPerRun: *ops, Seed: *seed}

@@ -169,9 +169,26 @@ func (c *Controller) Read(addr uint64, n int) ([]byte, sim.Time, error) {
 	if err := c.check(addr, n); err != nil {
 		return nil, 0, err
 	}
+	//edmlint:allow hotpath convenience form; the zero-alloc hot path uses ReadInto
 	out := make([]byte, n)
-	c.copyOut(out, addr)
-	return out, c.accessTime(addr, n), nil
+	t, err := c.ReadInto(addr, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, t, nil
+}
+
+// ReadInto fills dst from addr and returns the access latency: the
+// allocation-free read used by the serving hot path, which reads into a
+// recycled response buffer.
+//
+//edmlint:hotpath
+func (c *Controller) ReadInto(addr uint64, dst []byte) (sim.Time, error) {
+	if err := c.check(addr, len(dst)); err != nil {
+		return 0, err
+	}
+	c.copyOut(dst, addr)
+	return c.accessTime(addr, len(dst)), nil
 }
 
 // Write stores data at addr and returns the access latency.

@@ -9,7 +9,9 @@ package rmem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -40,6 +42,13 @@ func BenchmarkClientRoundTrip(b *testing.B) {
 	for _, size := range []int{64, 1024, 16384} {
 		b.Run(fmt.Sprintf("read=%d", size), func(b *testing.B) {
 			client := benchPair(b, 1)
+			// Prime the buffer pools and free lists at this transfer size so
+			// one-time pool misses don't pollute allocs/op on short runs.
+			for i := 0; i < 64; i++ {
+				if _, err := client.ReadSync(uint64(i%1024)*64, size); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.SetBytes(int64(size))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -85,6 +94,141 @@ func BenchmarkClientPipelining(b *testing.B) {
 	}
 }
 
+// pipelinedDriver issues asynchronous reads through a channel semaphore with
+// one reused callback, so its steady-state loop performs no allocations of
+// its own — any allocs/op a benchmark reports come from the client/server
+// stack under test.
+type pipelinedDriver struct {
+	client *Client
+	sem    chan struct{}
+	cb     func([]byte, error)
+	errs   atomic.Uint64
+}
+
+func newPipelinedDriver(client *Client, window int) *pipelinedDriver {
+	d := &pipelinedDriver{client: client, sem: make(chan struct{}, window)}
+	d.cb = func(_ []byte, err error) {
+		if err != nil {
+			d.errs.Add(1)
+		}
+		<-d.sem
+	}
+	return d
+}
+
+// read blocks for a semaphore slot (bounding outstanding ops to the client
+// window, so the fail-fast path never trips) and issues one async read.
+func (d *pipelinedDriver) read(addr uint64, n int) error {
+	d.sem <- struct{}{}
+	return d.client.Read(addr, n, d.cb)
+}
+
+// drain waits for every outstanding read to complete.
+func (d *pipelinedDriver) drain() {
+	for i := 0; i < cap(d.sem); i++ {
+		d.sem <- struct{}{}
+	}
+	for i := 0; i < cap(d.sem); i++ {
+		<-d.sem
+	}
+}
+
+// warm pushes the stack past the responder's dedup window so the measured
+// region sees steady state: pools populated, free lists primed, the
+// duplicate-suppression ring at capacity and recycling entries.
+func (d *pipelinedDriver) warm(b *testing.B, addrOf func(i int) uint64, size int) {
+	b.Helper()
+	for i := 0; i < wire.DefaultResponderWindow+1024; i++ {
+		if err := d.read(addrOf(i), size); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.drain()
+}
+
+// BenchmarkPipelinedRead is the allocation-discipline benchmark: sustained
+// asynchronous reads through the pooled client, reliable layer, responder,
+// and sharded server. The acceptance bar is 0 allocs/op in steady state.
+func BenchmarkPipelinedRead(b *testing.B) {
+	const size, window = 64, 64
+	client := benchPair(b, window)
+	d := newPipelinedDriver(client, window)
+	addrOf := func(i int) uint64 { return uint64(i%1024) * 64 }
+	d.warm(b, addrOf, size)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.read(addrOf(i), size); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.drain()
+	b.StopTimer()
+	if n := d.errs.Load(); n > 0 {
+		b.Fatalf("%d reads failed", n)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkPipelinedReadParallel measures multi-core scaling: one sharded
+// server, one session per GOMAXPROCS goroutine, each hammering a disjoint
+// slab range so sessions land on different slab-lock shards.
+func BenchmarkPipelinedReadParallel(b *testing.B) {
+	const size, window = 64, 64
+	const slab = 1 << 26
+	srv, err := NewServer(ServerConfig{Geometry: Geometry{SlabBytes: slab, Slots: 4096, SlotBytes: 1024}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	span := (uint64(slab) / uint64(procs)) &^ 4095
+	drivers := make([]*pipelinedDriver, procs)
+	for i := range drivers {
+		lb := wire.NewLoopback(wire.LoopbackConfig{})
+		client := NewClient(lb.ClientPipe(), ClientConfig{Window: window,
+			Retry: wire.ConnConfig{RetryTimeout: time.Second, MaxRetries: 3}})
+		lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+		lb.BindClient(client.Deliver)
+		if err := client.Connect(); err != nil {
+			b.Fatal(err)
+		}
+		d := newPipelinedDriver(client, window)
+		base := uint64(i) * span
+		d.warm(b, func(j int) uint64 { return base + uint64(j%512)*64 }, size)
+		drivers[i] = d
+	}
+	var next atomic.Int64
+	var total atomic.Int64
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		idx := int(next.Add(1) - 1)
+		// RunParallel launches exactly GOMAXPROCS goroutines unless
+		// SetParallelism raises it; each gets a private session.
+		d := drivers[idx%procs]
+		base := (uint64(idx) % uint64(procs)) * span
+		n := 0
+		for pb.Next() {
+			if err := d.read(base+uint64(n%512)*64, size); err != nil {
+				b.Error(err)
+				return
+			}
+			n++
+		}
+		d.drain()
+		total.Add(int64(n))
+	})
+	b.StopTimer()
+	for _, d := range drivers {
+		if n := d.errs.Load(); n > 0 {
+			b.Fatalf("%d reads failed", n)
+		}
+	}
+	b.ReportMetric(float64(total.Load())/b.Elapsed().Seconds(), "ops/s")
+}
+
 // BenchmarkClientRoundTripTelemetry isolates the instrumentation overhead
 // on the closed-loop read path: "noop" is the default wiring (unregistered
 // metrics, no clock, no ring — what the counters cost when nobody looks),
@@ -128,6 +272,11 @@ func BenchmarkClientRoundTripTelemetry(b *testing.B) {
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			client := v.build(b)
+			for i := 0; i < 64; i++ {
+				if _, err := client.ReadSync(uint64(i%1024)*64, size); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.SetBytes(size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

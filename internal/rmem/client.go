@@ -68,6 +68,11 @@ type ClientStats struct {
 // Client is the compute-node handle to a live memory node: raw Read/Write/
 // RMW plus the kvstore-shaped Get/Put, all asynchronously pipelined behind a
 // bounded outstanding window.
+//
+// Callback data-lifetime contract: the []byte handed to a Read callback (and
+// the *wire.Msg behind it) is owned by the transport and valid only for the
+// duration of the callback. Copy it out to retain it; ReadSync and Batch.Get
+// already do.
 type Client struct {
 	conn    *wire.Conn
 	cfg     ClientConfig
@@ -77,6 +82,11 @@ type Client struct {
 	// restart on the same port) but not on a retransmitted HELLO carrying
 	// the same token.
 	token [8]byte
+
+	// ops recycles pendingOp completion records and reqs recycles request
+	// messages, so steady-state Read/Write/RMW allocates nothing.
+	ops  sync.Pool
+	reqs sync.Pool
 
 	mu       sync.Mutex
 	slotFree *sync.Cond
@@ -122,34 +132,37 @@ func NewClient(pipe wire.Pipe, cfg ClientConfig) *Client {
 func (c *Client) Deliver(p []byte) { c.conn.Deliver(p) }
 
 // Connect performs the HELLO handshake and adopts the server's advertised
-// geometry (unless overridden in the config).
+// geometry (unless overridden in the config). The geometry is decoded inside
+// the completion callback: the response message is pooled and only valid for
+// the callback's duration.
 //
 //edmlint:allow walltime the handshake deadline bounds a real network exchange
 func (c *Client) Connect() error {
 	type result struct {
-		m   *wire.Msg
+		geo Geometry
 		err error
 	}
 	ch := make(chan result, 1)
 	if _, err := c.conn.Call(&wire.Msg{Kind: wire.KindHello, Data: c.token[:]}, func(m *wire.Msg, err error) {
-		ch <- result{m, err}
+		if err == nil {
+			err = m.Status.Err()
+		}
+		if err != nil {
+			ch <- result{err: fmt.Errorf("rmem: handshake: %w", err)}
+			return
+		}
+		geo, err := DecodeGeometry(m.Data)
+		ch <- result{geo: geo, err: err}
 	}); err != nil {
 		return err
 	}
 	select {
 	case r := <-ch:
 		if r.err != nil {
-			return fmt.Errorf("rmem: handshake: %w", r.err)
-		}
-		if err := r.m.Status.Err(); err != nil {
-			return fmt.Errorf("rmem: handshake: %w", err)
-		}
-		geo, err := DecodeGeometry(r.m.Data)
-		if err != nil {
-			return err
+			return r.err
 		}
 		c.mu.Lock()
-		c.geo = geo
+		c.geo = r.geo
 		if c.cfg.Slots > 0 {
 			c.geo.Slots = c.cfg.Slots
 		}
@@ -196,8 +209,10 @@ func (c *Client) Pending() int {
 }
 
 // acquire claims a window slot. With wait it blocks until one frees (batch
-// mode); otherwise it fails fast with ErrTooManyOut.
-func (c *Client) acquire(wait bool) error {
+// mode); otherwise it fails fast with ErrTooManyOut, counted against the
+// WindowFull metric only when countFull is set (the batch path probes the
+// window internally and its rejections are not caller-visible backpressure).
+func (c *Client) acquire(wait, countFull bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for c.inflight >= c.cfg.Window {
@@ -205,7 +220,9 @@ func (c *Client) acquire(wait bool) error {
 			return ErrClosed
 		}
 		if !wait {
-			c.metrics.WindowFull.Inc()
+			if countFull {
+				c.metrics.WindowFull.Inc()
+			}
 			return ErrTooManyOut
 		}
 		c.slotFree.Wait()
@@ -233,63 +250,165 @@ func (c *Client) release(failed bool) {
 	}
 }
 
-// do issues one request inside the window discipline. cb receives the
-// response message or the transport/remote error.
+// pendingOp is the pooled completion record for one in-flight operation: it
+// implements wire.Completion so the hot path needs no per-op closure. Exactly
+// one cb* field is set; Done dispatches to it after recycling the record.
+type pendingOp struct {
+	c     *Client
+	kind  wire.Kind
+	start int64
+	// Exactly one of these is non-nil per use.
+	cbMsg   func(*wire.Msg, error)
+	cbRead  func([]byte, error)
+	cbWrite func(error)
+	cbRMW   func(uint64, error)
+}
+
+func (o *pendingOp) clear() {
+	o.c = nil
+	o.cbMsg, o.cbRead, o.cbWrite, o.cbRMW = nil, nil, nil, nil
+}
+
+// Done implements wire.Completion. The response r is pooled by the reliable
+// layer and valid only for this call, so every retaining path copies.
+//
+//edmlint:hotpath one invocation per completed op
+func (o *pendingOp) Done(r *wire.Msg, err error) {
+	c := o.c
+	if err == nil {
+		err = r.Status.Err()
+	}
+	if c.cfg.NowNS != nil && err == nil {
+		if h := c.metrics.Latency[o.kind]; h != nil {
+			h.Observe(c.cfg.NowNS() - o.start)
+		}
+	}
+	c.release(err != nil)
+	// Recycle the record before dispatching: the callback may issue a
+	// follow-up op, and the saved locals keep this completion intact.
+	cbMsg, cbRead, cbWrite, cbRMW := o.cbMsg, o.cbRead, o.cbWrite, o.cbRMW
+	o.clear()
+	c.ops.Put(o)
+	switch {
+	case cbMsg != nil:
+		cbMsg(r, err)
+	case cbRead != nil:
+		if err != nil {
+			cbRead(nil, err)
+			return
+		}
+		cbRead(r.Data, nil)
+	case cbWrite != nil:
+		cbWrite(err)
+	case cbRMW != nil:
+		if err != nil {
+			cbRMW(0, err)
+			return
+		}
+		if len(r.Data) != 8 {
+			//edmlint:allow hotpath cold path: the server sent a malformed RMW result
+			cbRMW(0, fmt.Errorf("%w: RMW result %d bytes", wire.ErrBadMsg, len(r.Data)))
+			return
+		}
+		cbRMW(binary.LittleEndian.Uint64(r.Data), nil)
+	}
+}
+
+// getOp pops a pooled completion record.
+func (c *Client) getOp() *pendingOp {
+	if v := c.ops.Get(); v != nil {
+		return v.(*pendingOp)
+	}
+	//edmlint:allow hotpath pool miss; steady state recycles
+	return new(pendingOp)
+}
+
+// getReq pops a pooled request message.
+func (c *Client) getReq() *wire.Msg {
+	if v := c.reqs.Get(); v != nil {
+		return v.(*wire.Msg)
+	}
+	//edmlint:allow hotpath pool miss; steady state recycles
+	return new(wire.Msg)
+}
+
+// putReq recycles a request message. Request messages alias caller-owned
+// Data/Args slices, so this fully detaches rather than Msg.Reset (which
+// would keep the aliased memory alive inside the pool).
+func (c *Client) putReq(m *wire.Msg) {
+	*m = wire.Msg{}
+	c.reqs.Put(m)
+}
+
+// issue submits one request inside the window discipline. It consumes o in
+// every outcome: on success the reliable layer owns it until Done fires; on
+// error it is recycled and the callback is never invoked. The caller still
+// owns m afterwards (the reliable layer encodes before returning).
 //
 //edmlint:hotpath every client op funnels through here
-func (c *Client) do(wait bool, m *wire.Msg, cb func(*wire.Msg, error)) error {
-	if err := c.acquire(wait); err != nil {
+func (c *Client) issue(wait, countFull bool, m *wire.Msg, o *pendingOp) error {
+	if err := c.acquire(wait, countFull); err != nil {
+		o.clear()
+		c.ops.Put(o)
 		return err
 	}
-	var start int64
+	o.c = c
+	o.kind = m.Kind
+	o.start = 0
 	if c.cfg.NowNS != nil {
-		start = c.cfg.NowNS()
+		o.start = c.cfg.NowNS()
 	}
-	kind := m.Kind
-	_, err := c.conn.Call(m, func(r *wire.Msg, err error) {
-		if err == nil {
-			err = r.Status.Err()
-		}
-		if c.cfg.NowNS != nil && err == nil {
-			if h := c.metrics.Latency[kind]; h != nil {
-				h.Observe(c.cfg.NowNS() - start)
-			}
-		}
-		c.release(err != nil)
-		cb(r, err)
-	})
-	if err != nil {
+	if _, err := c.conn.CallC(m, o); err != nil {
+		// Submit failed, so the completion will never fire.
 		c.release(true)
+		o.clear()
+		c.ops.Put(o)
 		return err
 	}
 	return nil
 }
 
+// doMsg issues one request with a message-level callback (the batch path;
+// the raw async API uses the typed pendingOp fields instead).
+func (c *Client) doMsg(wait, countFull bool, m *wire.Msg, cb func(*wire.Msg, error)) error {
+	o := c.getOp()
+	o.cbMsg = cb
+	return c.issue(wait, countFull, m, o)
+}
+
 // Read issues an asynchronous remote read of n bytes at addr; cb fires with
 // the data or an error (wire.ErrTimeout past the per-ID deadline). It fails
-// fast with ErrTooManyOut when the window is exhausted.
+// fast with ErrTooManyOut when the window is exhausted. The data slice is
+// only valid for the duration of the callback — copy to retain.
 //
 //edmlint:hotpath
 func (c *Client) Read(addr uint64, n int, cb func([]byte, error)) error {
-	//edmlint:allow hotpath one request message per op is inherent to the protocol
-	return c.do(false, &wire.Msg{Kind: wire.KindRREQ, Addr: addr, Count: uint32(n)},
-		func(r *wire.Msg, err error) {
-			if err != nil {
-				cb(nil, err)
-				return
-			}
-			cb(r.Data, nil)
-		})
+	o := c.getOp()
+	o.cbRead = cb
+	m := c.getReq()
+	m.Kind = wire.KindRREQ
+	m.Addr = addr
+	m.Count = uint32(n)
+	err := c.issue(false, true, m, o)
+	c.putReq(m)
+	return err
 }
 
 // Write issues an asynchronous remote write; cb fires once the server acks.
+// data is captured into the datagram before Write returns.
 //
 //edmlint:hotpath
 func (c *Client) Write(addr uint64, data []byte, cb func(error)) error {
-	//edmlint:allow hotpath one request message per op is inherent to the protocol
-	return c.do(false, &wire.Msg{Kind: wire.KindWREQ, Addr: addr,
-		Count: uint32(len(data)), Data: data},
-		func(_ *wire.Msg, err error) { cb(err) })
+	o := c.getOp()
+	o.cbWrite = cb
+	m := c.getReq()
+	m.Kind = wire.KindWREQ
+	m.Addr = addr
+	m.Count = uint32(len(data))
+	m.Data = data
+	err := c.issue(false, true, m, o)
+	c.putReq(m)
+	return err
 }
 
 // RMW issues an asynchronous atomic read-modify-write; cb receives the
@@ -297,30 +416,32 @@ func (c *Client) Write(addr uint64, data []byte, cb func(error)) error {
 //
 //edmlint:hotpath
 func (c *Client) RMW(addr uint64, op memctl.RMWOp, args []uint64, cb func(uint64, error)) error {
-	//edmlint:allow hotpath one request message per op is inherent to the protocol
-	return c.do(false, &wire.Msg{Kind: wire.KindRMWREQ, Addr: addr, Op: uint8(op), Args: args},
-		func(r *wire.Msg, err error) {
-			if err != nil {
-				cb(0, err)
-				return
-			}
-			if len(r.Data) != 8 {
-				//edmlint:allow hotpath cold path: the server sent a malformed RMW result
-				cb(0, fmt.Errorf("%w: RMW result %d bytes", wire.ErrBadMsg, len(r.Data)))
-				return
-			}
-			cb(binary.LittleEndian.Uint64(r.Data), nil)
-		})
+	o := c.getOp()
+	o.cbRMW = cb
+	m := c.getReq()
+	m.Kind = wire.KindRMWREQ
+	m.Addr = addr
+	m.Op = uint8(op)
+	m.Args = args
+	err := c.issue(false, true, m, o)
+	c.putReq(m)
+	return err
 }
 
-// ReadSync is the blocking form of Read.
+// ReadSync is the blocking form of Read. It returns a fresh copy of the data
+// (the async callback's view is only transiently valid).
 func (c *Client) ReadSync(addr uint64, n int) ([]byte, error) {
 	type res struct {
 		data []byte
 		err  error
 	}
 	ch := make(chan res, 1)
-	if err := c.Read(addr, n, func(d []byte, err error) { ch <- res{d, err} }); err != nil {
+	if err := c.Read(addr, n, func(d []byte, err error) {
+		if err == nil {
+			d = append([]byte(nil), d...)
+		}
+		ch <- res{d, err}
+	}); err != nil {
 		return nil, err
 	}
 	r := <-ch
@@ -364,7 +485,8 @@ func (c *Client) slotAddr(key int) (uint64, int, error) {
 	return uint64(key) * uint64(geo.SlotBytes), geo.SlotBytes, nil
 }
 
-// Get reads the fixed-size slot for key (the kvstore-shaped API).
+// Get reads the fixed-size slot for key (the kvstore-shaped API). The data
+// slice passed to cb is only valid for the duration of the callback.
 func (c *Client) Get(key int, cb func([]byte, error)) error {
 	addr, n, err := c.slotAddr(key)
 	if err != nil {
@@ -478,13 +600,21 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Flush issues every queued operation pipelined, waits for all completions,
 // and returns the per-op outcomes. The first error encountered (if any) is
 // also returned; the batch is reset for reuse.
+//
+// Flush corks the reliable layer while it enqueues, so the burst leaves the
+// client as coalesced datagram batches rather than one send per op. When the
+// window fills mid-batch it uncorks first (corked ops cannot complete, so
+// blocking while corked would deadlock), blocks for a free slot, and corks
+// again for the remainder.
 func (b *Batch) Flush() ([]BatchOp, error) {
 	ops := b.ops
 	b.ops = nil
+	c := b.c
 	var wg sync.WaitGroup
+	c.conn.Cork()
 	for i := range ops {
 		op := &ops[i]
-		addr, n, err := b.c.slotAddr(op.Key)
+		addr, n, err := c.slotAddr(op.Key)
 		if err != nil {
 			op.Err = err
 			continue
@@ -493,29 +623,43 @@ func (b *Batch) Flush() ([]BatchOp, error) {
 			op.Err = fmt.Errorf("%w: %d bytes into %d-byte slot", ErrTooLarge, len(op.Value), n)
 			continue
 		}
-		var msg *wire.Msg
+		m := c.getReq()
 		if op.Put {
-			msg = &wire.Msg{Kind: wire.KindWREQ, Addr: addr,
-				Count: uint32(len(op.Value)), Data: op.Value}
+			m.Kind = wire.KindWREQ
+			m.Addr = addr
+			m.Count = uint32(len(op.Value))
+			m.Data = op.Value
 		} else {
-			msg = &wire.Msg{Kind: wire.KindRREQ, Addr: addr, Count: uint32(n)}
+			m.Kind = wire.KindRREQ
+			m.Addr = addr
+			m.Count = uint32(n)
 		}
 		wg.Add(1)
-		err = b.c.do(true, msg, func(r *wire.Msg, err error) {
+		cb := func(r *wire.Msg, err error) {
 			defer wg.Done()
 			if err != nil {
 				op.Err = err
 				return
 			}
 			if !op.Put {
-				op.Value = r.Data
+				// r is pooled: copy the payload out, reusing the op's
+				// Value capacity across batch reuses.
+				op.Value = append(op.Value[:0], r.Data...)
 			}
-		})
+		}
+		err = c.doMsg(false, false, m, cb)
+		if errors.Is(err, ErrTooManyOut) {
+			c.conn.Uncork()
+			err = c.doMsg(true, false, m, cb)
+			c.conn.Cork()
+		}
+		c.putReq(m)
 		if err != nil {
 			wg.Done()
 			op.Err = err
 		}
 	}
+	c.conn.Uncork()
 	wg.Wait()
 	for i := range ops {
 		if ops[i].Err != nil {

@@ -59,9 +59,21 @@ func DecodeGeometry(b []byte) (Geometry, error) {
 	}, nil
 }
 
+// DefaultShards is the default slab-lock shard count. It is a fixed
+// constant — not derived from GOMAXPROCS — so the shard map, and with it
+// the per-shard DRAM-model state, is identical on every machine and
+// loopback runs stay seed-deterministic.
+const DefaultShards = 16
+
 // ServerConfig sizes the memory node.
 type ServerConfig struct {
 	Geometry
+	// Shards is the slab-lock shard count: the slab is split into
+	// contiguous byte ranges, each with its own lock and DRAM model, so
+	// concurrent sessions touching different ranges never serialize.
+	// Zero means DefaultShards; 1 restores the single-lock behaviour;
+	// values above 256 are clamped.
+	Shards int
 	// DupWindow is the per-session duplicate-suppression window
 	// (wire.DefaultResponderWindow when zero).
 	DupWindow int
@@ -98,6 +110,15 @@ func (c *ServerConfig) fill() error {
 	if need := uint64(c.Slots) * uint64(c.SlotBytes); need > c.SlabBytes {
 		return fmt.Errorf("rmem: %d x %d slots need %d bytes, slab has %d", c.Slots, c.SlotBytes, need, c.SlabBytes)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("rmem: invalid shard count %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Shards > 256 {
+		c.Shards = 256
+	}
 	return nil
 }
 
@@ -114,16 +135,35 @@ type ServerStats struct {
 	ModeledDRAM sim.Time
 }
 
-// Server terminates wire requests against a memory slab. One mutex
-// serializes all slab access, which is what makes the RMW menu atomic under
-// concurrent client sessions — the live stand-in for the paper's
-// non-preemptible NIC RMW pipeline (§3.2.1).
-type Server struct {
-	cfg     ServerConfig
-	metrics *ServerMetrics
+// shardAlign is the shard-boundary granularity. A multiple of the RMW word
+// size (and of memctl's page size), so an aligned 8-byte RMW can never span
+// two shards — every atomic executes under exactly one shard lock.
+const shardAlign = 4096
 
+// shard is one contiguous byte range of the slab with its own lock and
+// DRAM-timing model. Padded to a cache line so neighbouring shard locks
+// don't false-share under multi-core contention.
+type shard struct {
 	mu  sync.Mutex
-	mem *memctl.Controller // guarded by mu (the slab: Controller is not itself thread-safe)
+	mem *memctl.Controller // guarded by mu (Controller is not itself thread-safe)
+	_   [48]byte
+}
+
+// Server terminates wire requests against a memory slab. The slab lock is
+// sharded by contiguous address range: operations on different shards run
+// concurrently; an aligned RMW always falls in exactly one shard, so the
+// atomic menu stays atomic under concurrent client sessions — the live
+// stand-in for the paper's non-preemptible NIC RMW pipeline (§3.2.1). A
+// read or write spanning shards locks them piecewise in ascending order;
+// such an access is not atomic with respect to a concurrent overlapping
+// write (it never was end-to-end: datagram-sized accesses carry no
+// transactional guarantee on the wire either).
+type Server struct {
+	cfg        ServerConfig
+	metrics    *ServerMetrics
+	geoPayload []byte // pre-encoded HELLO-ACK geometry, immutable
+	shardBytes uint64 // bytes per shard (shardAlign-aligned), immutable
+	shards     []shard
 }
 
 // NewServer builds a memory node with the given slab/slot geometry.
@@ -137,10 +177,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Responder == nil {
 		cfg.Responder = wire.NewResponderMetrics(nil)
 	}
-	mcfg := memctl.DefaultConfig()
-	mcfg.Size = cfg.SlabBytes
-	return &Server{cfg: cfg, metrics: cfg.Metrics, mem: memctl.New(mcfg)}, nil
+	shardBytes := (cfg.SlabBytes + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
+	shardBytes = (shardBytes + shardAlign - 1) &^ uint64(shardAlign-1)
+	shards := make([]shard, int((cfg.SlabBytes+shardBytes-1)/shardBytes))
+	for i := range shards {
+		mcfg := memctl.DefaultConfig()
+		mcfg.Size = shardBytes
+		if rest := cfg.SlabBytes - uint64(i)*shardBytes; rest < mcfg.Size {
+			mcfg.Size = rest
+		}
+		shards[i].mem = memctl.New(mcfg)
+	}
+	return &Server{cfg: cfg, metrics: cfg.Metrics,
+		geoPayload: cfg.Geometry.Encode(), shardBytes: shardBytes, shards: shards}, nil
 }
+
+// Shards reports the effective shard count.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Geometry reports the slab layout advertised to clients.
 func (s *Server) Geometry() Geometry { return s.cfg.Geometry }
@@ -185,12 +238,112 @@ func statusOf(err error) wire.Status {
 	return wire.StatusProto
 }
 
-// Handle executes one fresh request and returns its response. It is the
+// grow returns a length-n slice reusing d's capacity.
+//
+//edmlint:hotpath
+func grow(d []byte, n int) []byte {
+	if cap(d) < n {
+		//edmlint:allow hotpath allocates only until the recycled buffer reaches its high-water mark
+		return make([]byte, n)
+	}
+	return d[:n]
+}
+
+// read fills dst from slab address addr, locking the spanned shards
+// piecewise in ascending order, and returns the summed modeled latency.
+//
+//edmlint:hotpath one call per served RREQ
+func (s *Server) read(addr uint64, dst []byte) (sim.Time, error) {
+	if len(dst) == 0 {
+		return 0, memctl.ErrBadLength
+	}
+	if addr >= s.cfg.SlabBytes || uint64(len(dst)) > s.cfg.SlabBytes-addr {
+		return 0, fmt.Errorf("%w: addr=%#x len=%d size=%#x", memctl.ErrOutOfRange, addr, len(dst), s.cfg.SlabBytes)
+	}
+	var total sim.Time
+	for len(dst) > 0 {
+		si := int(addr / s.shardBytes)
+		base := uint64(si) * s.shardBytes
+		n := len(dst)
+		if room := base + s.shardBytes - addr; uint64(n) > room {
+			n = int(room)
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		lat, err := sh.mem.ReadInto(addr-base, dst[:n])
+		sh.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		total += lat
+		addr += uint64(n)
+		dst = dst[n:]
+	}
+	return total, nil
+}
+
+// write stores src at slab address addr, locking the spanned shards
+// piecewise in ascending order, and returns the summed modeled latency.
+//
+//edmlint:hotpath one call per served WREQ
+func (s *Server) write(addr uint64, src []byte) (sim.Time, error) {
+	if len(src) == 0 {
+		return 0, memctl.ErrBadLength
+	}
+	if addr >= s.cfg.SlabBytes || uint64(len(src)) > s.cfg.SlabBytes-addr {
+		return 0, fmt.Errorf("%w: addr=%#x len=%d size=%#x", memctl.ErrOutOfRange, addr, len(src), s.cfg.SlabBytes)
+	}
+	var total sim.Time
+	for len(src) > 0 {
+		si := int(addr / s.shardBytes)
+		base := uint64(si) * s.shardBytes
+		n := len(src)
+		if room := base + s.shardBytes - addr; uint64(n) > room {
+			n = int(room)
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		lat, err := sh.mem.Write(addr-base, src[:n])
+		sh.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		total += lat
+		addr += uint64(n)
+		src = src[n:]
+	}
+	return total, nil
+}
+
+// rmw executes one atomic under its shard's lock. Shard boundaries are
+// word-aligned, so an aligned RMW is always single-shard; the unaligned
+// check runs first to mirror the controller's error precedence.
+//
+//edmlint:hotpath one call per served RMWREQ
+func (s *Server) rmw(addr uint64, op memctl.RMWOp, args []uint64) (uint64, sim.Time, error) {
+	if addr%memctl.WordBytes != 0 {
+		return 0, 0, memctl.ErrUnaligned
+	}
+	if addr >= s.cfg.SlabBytes || memctl.WordBytes > s.cfg.SlabBytes-addr {
+		return 0, 0, fmt.Errorf("%w: addr=%#x len=%d size=%#x", memctl.ErrOutOfRange, addr, memctl.WordBytes, s.cfg.SlabBytes)
+	}
+	si := int(addr / s.shardBytes)
+	base := uint64(si) * s.shardBytes
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	result, lat, err := sh.mem.RMW(addr-base, op, args...)
+	sh.mu.Unlock()
+	return result, lat, err
+}
+
+// Handle executes one fresh request, filling resp in place. It is the
 // wire.Responder handler; the responder layer has already suppressed
-// duplicates, so every call here executes exactly once.
+// duplicates, so every call here executes exactly once, and resp arrives
+// with Kind/ID pre-set and recycled Data capacity (the zero-alloc path
+// reads directly into it).
 //
 //edmlint:hotpath one Handle per served request
-func (s *Server) Handle(m *wire.Msg) *wire.Msg {
+func (s *Server) Handle(m, resp *wire.Msg) {
 	var start int64
 	if s.cfg.NowNS != nil {
 		start = s.cfg.NowNS()
@@ -199,28 +352,26 @@ func (s *Server) Handle(m *wire.Msg) *wire.Msg {
 	if c := mt.Ops[m.Kind]; c != nil {
 		c.Inc()
 	}
-	s.mu.Lock()
-	//edmlint:allow hotpath one response message per request is the protocol
-	resp := &wire.Msg{Kind: m.Kind.Response(), ID: m.ID}
 	switch m.Kind {
 	case wire.KindHello:
-		resp.Data = s.cfg.Geometry.Encode()
+		resp.Data = append(resp.Data[:0], s.geoPayload...)
 	case wire.KindBye:
 	case wire.KindRREQ:
 		if m.Count > wire.MaxData {
 			resp.Status = wire.StatusRange
 			break
 		}
-		data, lat, err := s.mem.Read(m.Addr, int(m.Count))
+		resp.Data = grow(resp.Data, int(m.Count))
+		lat, err := s.read(m.Addr, resp.Data)
 		if err != nil {
+			resp.Data = resp.Data[:0]
 			resp.Status = statusOf(err)
 			break
 		}
-		mt.BytesRead.Add(uint64(len(data)))
+		mt.BytesRead.Add(uint64(len(resp.Data)))
 		mt.ModeledDRAMPS.Add(uint64(lat))
-		resp.Data = data
 	case wire.KindWREQ:
-		lat, err := s.mem.Write(m.Addr, m.Data)
+		lat, err := s.write(m.Addr, m.Data)
 		if err != nil {
 			resp.Status = statusOf(err)
 			break
@@ -228,19 +379,18 @@ func (s *Server) Handle(m *wire.Msg) *wire.Msg {
 		mt.BytesWritten.Add(uint64(len(m.Data)))
 		mt.ModeledDRAMPS.Add(uint64(lat))
 	case wire.KindRMWREQ:
-		result, lat, err := s.mem.RMW(m.Addr, memctl.RMWOp(m.Op), m.Args...)
+		result, lat, err := s.rmw(m.Addr, memctl.RMWOp(m.Op), m.Args)
 		if err != nil {
 			resp.Status = statusOf(err)
 			break
 		}
 		mt.ModeledDRAMPS.Add(uint64(lat))
-		resp.Data = make([]byte, 8)
+		resp.Data = grow(resp.Data, 8)
 		binary.LittleEndian.PutUint64(resp.Data, result)
 	default:
-		//edmlint:allow hotpath cold path: unknown request kind
-		resp = &wire.Msg{Kind: wire.KindByeAck, ID: m.ID, Status: wire.StatusProto}
+		resp.Kind = wire.KindByeAck
+		resp.Status = wire.StatusProto
 	}
-	s.mu.Unlock()
 	if resp.Status != wire.StatusOK {
 		mt.Errors.Inc()
 	}
@@ -257,5 +407,4 @@ func (s *Server) Handle(m *wire.Msg) *wire.Msg {
 			s.cfg.Trace.Record(uint64(m.ID), telemetry.StageServe, uint8(m.Kind), start, d)
 		}
 	}
-	return resp
 }

@@ -52,29 +52,79 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeAppend measures the pooled encode form: appending into a
+// recycled buffer, which the steady state does without allocating.
+func BenchmarkEncodeAppend(b *testing.B) {
+	for _, payload := range []int{0, 64, 1024, 16384} {
+		b.Run(fmt.Sprintf("payload=%d", payload), func(b *testing.B) {
+			m := benchMsg(payload)
+			buf := make([]byte, 0, m.EncodedSize())
+			b.SetBytes(int64(m.EncodedSize()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := m.AppendEncode(buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = out
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
+// BenchmarkDecodeInto measures the pooled decode form: parsing into a
+// recycled Msg, reusing its Args/Data capacity.
+func BenchmarkDecodeInto(b *testing.B) {
+	for _, payload := range []int{0, 64, 1024, 16384} {
+		b.Run(fmt.Sprintf("payload=%d", payload), func(b *testing.B) {
+			enc, err := benchMsg(payload).Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var m Msg
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeInto(&m, enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
 // BenchmarkLoopbackRoundTrip measures one full reliable request/response
 // over the in-process transport (codec both ways, reliability bookkeeping,
-// duplicate-suppression cache).
+// duplicate-suppression cache). The request message and completion callback
+// are reused across iterations, as a pipelining client would, so the
+// reported allocs/op reflect the protocol stack alone.
 func BenchmarkLoopbackRoundTrip(b *testing.B) {
 	for _, payload := range []int{64, 4096} {
 		b.Run(fmt.Sprintf("read=%d", payload), func(b *testing.B) {
 			lb := NewLoopback(LoopbackConfig{})
 			conn := NewConn(lb.ClientPipe(), ConnConfig{})
 			resp := NewResponder(lb.ServerPipe(), ResponderConfig{},
-				func(m *Msg) *Msg { return &Msg{Kind: KindRRESP, Data: make([]byte, m.Count)} })
+				func(m, resp *Msg) { resp.Data = growTestBytes(resp.Data, int(m.Count)) })
 			lb.BindServer(resp.Deliver)
 			lb.BindClient(conn.Deliver)
+			req := &Msg{Kind: KindRREQ, Count: uint32(payload)}
+			done := false
+			cb := func(r *Msg, err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				done = true
+			}
 			b.SetBytes(int64(payload))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				done := false
-				if _, err := conn.Call(&Msg{Kind: KindRREQ, Count: uint32(payload)},
-					func(r *Msg, err error) {
-						if err != nil {
-							b.Fatal(err)
-						}
-						done = true
-					}); err != nil {
+				done = false
+				if _, err := conn.Call(req, cb); err != nil {
 					b.Fatal(err)
 				}
 				if !done {
@@ -84,4 +134,12 @@ func BenchmarkLoopbackRoundTrip(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "roundtrips/s")
 		})
 	}
+}
+
+// growTestBytes is a benchmark helper: an n-byte slice reusing d's capacity.
+func growTestBytes(d []byte, n int) []byte {
+	if cap(d) < n {
+		return make([]byte, n)
+	}
+	return d[:n]
 }

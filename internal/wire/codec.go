@@ -221,20 +221,71 @@ func (m *Msg) EncodedSize() int {
 	return headerBytes + 8*len(m.Args) + len(m.Data) + crcBytes
 }
 
+// Reset clears m for reuse, retaining the Args/Data capacity. It must not
+// be used on messages whose slices alias caller-owned buffers (a pooled
+// message would then scribble over them on its next decode); those need a
+// full zero instead.
+func (m *Msg) Reset() {
+	m.Kind, m.Status, m.Op = 0, 0, 0
+	m.ID, m.Addr, m.Count = 0, 0, 0
+	m.Args = m.Args[:0]
+	m.Data = m.Data[:0]
+}
+
+// Clone returns a deep copy of m: the escape hatch for callbacks that need
+// to retain a connection-owned response past the callback's return.
+func (m *Msg) Clone() *Msg {
+	n := &Msg{Kind: m.Kind, Status: m.Status, Op: m.Op,
+		ID: m.ID, Addr: m.Addr, Count: m.Count}
+	if len(m.Args) > 0 {
+		n.Args = append([]uint64(nil), m.Args...)
+	}
+	if len(m.Data) > 0 {
+		n.Data = append([]byte(nil), m.Data...)
+	}
+	return n
+}
+
 // Encode renders m as one datagram.
 //
 //edmlint:hotpath one exactly-sized allocation per datagram
 func (m *Msg) Encode() ([]byte, error) {
+	return m.AppendEncode(nil)
+}
+
+// growBytes extends b by n bytes, reallocating only when capacity lacks.
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	want := len(b) + n
+	c := 2 * cap(b)
+	if c < want {
+		c = want
+	}
+	nb := make([]byte, want, c)
+	copy(nb, b)
+	return nb
+}
+
+// AppendEncode appends m's encoding to dst and returns the extended slice.
+// With a recycled dst (sliced to length 0) the steady state allocates
+// nothing; Conn and Responder keep one such buffer per call/cache record.
+//
+//edmlint:hotpath the allocation-free encode used by the pooled hot path
+func (m *Msg) AppendEncode(dst []byte) ([]byte, error) {
 	if m.Kind == 0 || m.Kind > kindMax {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(m.Kind))
+		return dst, fmt.Errorf("%w: %d", ErrBadKind, uint8(m.Kind))
 	}
 	if len(m.Args) > MaxArgs {
-		return nil, fmt.Errorf("%w: %d RMW args", ErrTooLarge, len(m.Args))
+		return dst, fmt.Errorf("%w: %d RMW args", ErrTooLarge, len(m.Args))
 	}
 	if len(m.Data) > MaxData {
-		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(m.Data))
+		return dst, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(m.Data))
 	}
-	b := make([]byte, m.EncodedSize())
+	start := len(dst)
+	dst = growBytes(dst, m.EncodedSize())
+	b := dst[start:]
 	b[0] = Version
 	b[1] = byte(m.Kind)
 	b[2] = byte(m.Status)
@@ -250,64 +301,73 @@ func (m *Msg) Encode() ([]byte, error) {
 	}
 	off += copy(b[off:], m.Data)
 	binary.LittleEndian.PutUint32(b[off:], crc32.Checksum(b[:off], castagnoli))
-	return b, nil
+	return dst, nil
 }
 
-// Decode parses one datagram. It validates the version, kind, status, arg
-// count, bounds and trailing checksum; any corruption that flips a bit
-// anywhere in the datagram is caught by the CRC, mirroring the fabric's
-// corrupted-block detection (§3.3).
+// Decode parses one datagram into a fresh Msg. It validates the version,
+// kind, status, arg count, bounds and trailing checksum; any corruption that
+// flips a bit anywhere in the datagram is caught by the CRC, mirroring the
+// fabric's corrupted-block detection (§3.3).
 //
 //edmlint:hotpath
 func Decode(b []byte) (*Msg, error) {
+	//edmlint:allow hotpath one Msg per datagram is the decode contract
+	m := new(Msg)
+	if err := DecodeInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses one datagram into m, reusing m's Args/Data capacity.
+// The payload is copied out of b, so the caller may recycle the datagram
+// buffer immediately; m owns its slices until its next DecodeInto/Reset.
+// On error m is left in an unspecified state and must not be read.
+//
+//edmlint:hotpath the allocation-free decode used by the pooled hot path
+func DecodeInto(m *Msg, b []byte) error {
 	if len(b) < headerBytes+crcBytes {
-		return nil, fmt.Errorf("%w: %d bytes", ErrShort, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrShort, len(b))
 	}
 	if len(b) > MaxDatagram {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(b))
 	}
 	body, sum := b[:len(b)-crcBytes], binary.LittleEndian.Uint32(b[len(b)-crcBytes:])
 	if crc32.Checksum(body, castagnoli) != sum {
-		return nil, ErrChecksum
+		return ErrChecksum
 	}
 	if b[0] != Version {
-		return nil, fmt.Errorf("%w: got %d want %d", ErrVersion, b[0], Version)
+		return fmt.Errorf("%w: got %d want %d", ErrVersion, b[0], Version)
 	}
-	//edmlint:allow hotpath one Msg per datagram is the decode contract
-	m := &Msg{
-		Kind:   Kind(b[1]),
-		Status: Status(b[2]),
-		Op:     b[3],
-		ID:     binary.LittleEndian.Uint32(b[5:]),
-		Addr:   binary.LittleEndian.Uint64(b[9:]),
-		Count:  binary.LittleEndian.Uint32(b[17:]),
-	}
+	m.Kind = Kind(b[1])
+	m.Status = Status(b[2])
+	m.Op = b[3]
+	m.ID = binary.LittleEndian.Uint32(b[5:])
+	m.Addr = binary.LittleEndian.Uint64(b[9:])
+	m.Count = binary.LittleEndian.Uint32(b[17:])
+	m.Args = m.Args[:0]
+	m.Data = m.Data[:0]
 	if m.Kind == 0 || m.Kind > kindMax {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, b[1])
+		return fmt.Errorf("%w: %d", ErrBadKind, b[1])
 	}
 	if m.Status > statusMax {
-		return nil, fmt.Errorf("%w: status %d", ErrBadMsg, b[2])
+		return fmt.Errorf("%w: status %d", ErrBadMsg, b[2])
 	}
 	nargs := int(b[4])
 	if nargs > MaxArgs {
-		return nil, fmt.Errorf("%w: %d RMW args", ErrBadMsg, nargs)
+		return fmt.Errorf("%w: %d RMW args", ErrBadMsg, nargs)
 	}
 	if len(body) < headerBytes+8*nargs {
-		return nil, fmt.Errorf("%w: %d args do not fit %d bytes", ErrBadMsg, nargs, len(body))
+		return fmt.Errorf("%w: %d args do not fit %d bytes", ErrBadMsg, nargs, len(body))
 	}
-	if nargs > 0 {
-		m.Args = make([]uint64, nargs)
-		for i := range m.Args {
-			m.Args[i] = binary.LittleEndian.Uint64(body[headerBytes+8*i:])
-		}
+	for i := 0; i < nargs; i++ {
+		m.Args = append(m.Args, binary.LittleEndian.Uint64(body[headerBytes+8*i:]))
 	}
 	payload := body[headerBytes+8*nargs:]
 	if len(payload) > MaxData {
-		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(payload))
+		return fmt.Errorf("%w: %d payload bytes", ErrTooLarge, len(payload))
 	}
-	if len(payload) > 0 {
-		//edmlint:allow hotpath the datagram buffer is reused by transports; Msg must own its payload
-		m.Data = append([]byte(nil), payload...)
-	}
-	return m, nil
+	//edmlint:allow hotpath the datagram buffer is reused by transports; Msg must own its payload
+	m.Data = append(m.Data, payload...)
+	return nil
 }

@@ -19,6 +19,16 @@ type Pipe interface {
 	Close() error
 }
 
+// BatchPipe extends Pipe with a batched send. SendBatch must behave exactly
+// as calling Send on each element in order — same delivery order, same
+// fault accounting — merely amortizing the per-datagram cost (one sendmmsg
+// syscall on Linux UDP). Conn.Uncork uses it to flush a corked window in
+// one call.
+type BatchPipe interface {
+	Pipe
+	SendBatch(ps [][]byte) error
+}
+
 // Reliability errors.
 var (
 	ErrClosed  = errors.New("wire: connection closed")
@@ -78,15 +88,44 @@ type ConnStats struct {
 	Timeouts   uint64 // calls that exhausted their retry budget
 }
 
-// call is one in-flight request awaiting its response.
+// Completion receives a call's outcome: the allocation-free alternative to
+// a callback closure. A caller embeds its per-op state in a struct
+// implementing Completion and passes the same pointer through CallC,
+// avoiding one closure allocation per operation. Done is invoked exactly
+// once, with either the response or an error; the response Msg is owned by
+// the connection and valid only for the duration of the Done call — use
+// Msg.Clone (or copy the fields needed) to retain it.
+type Completion interface {
+	Done(m *Msg, err error)
+}
+
+// call is one in-flight request awaiting its response. Records live on a
+// per-connection free list: retired calls are recycled, their encode buffer
+// and retransmission timer reused, so the steady state allocates nothing.
+// The sending count keeps a record (and its enc buffer) alive while any
+// goroutine is inside pipe.Send with it — a record is only recycled when it
+// is done AND no send references it, so a retransmission can never observe
+// a buffer being rewritten for a new call.
 type call struct {
-	enc      []byte // cached encoding, re-sent verbatim on retry
+	id       uint32 // guarded by mu
+	enc      []byte // cached encoding, re-sent verbatim on retry; owned by the record
 	want     Kind   // expected response kind
 	cb       func(*Msg, error)
-	timer    *time.Timer
-	start    int64 // NowNS at issue (0 when no clock is wired)
-	attempts int
-	done     bool
+	comp     Completion
+	timer    *time.Timer // allocated once per record, Reset across reuses
+	start    int64       // NowNS at issue (0 when no clock is wired)
+	attempts int         // guarded by mu
+	sending  int         // guarded by mu: goroutines inside pipe.Send with enc
+	done     bool        // guarded by mu
+	next     *call       // guarded by mu: free-list link
+}
+
+// queued is one corked call awaiting the Uncork flush. It carries the ID
+// alongside the record so a flush can tell a still-pending call from a
+// record that was retired and recycled under a new ID while corked.
+type queued struct {
+	id uint32
+	cl *call
 }
 
 // Conn is the client half of the reliable layer: it assigns message IDs,
@@ -95,22 +134,32 @@ type call struct {
 // ErrTimeout once the retry budget is spent. Callbacks are invoked on
 // whatever goroutine delivers the response (the transport's receive path or
 // the retry timer), never with the connection lock held — they may issue new
-// calls.
+// calls. The response Msg handed to a callback or Completion is pooled and
+// valid only during that invocation; Clone it to retain it.
 type Conn struct {
-	cfg  ConnConfig
-	pipe Pipe
+	cfg   ConnConfig
+	pipe  Pipe
+	batch BatchPipe // pipe's batched form when it has one, else nil
 
-	mu      sync.Mutex
-	nextID  uint32           // guarded by mu
-	pending map[uint32]*call // guarded by mu
-	closed  bool             // guarded by mu
+	mu       sync.Mutex
+	nextID   uint32           // guarded by mu
+	pending  map[uint32]*call // guarded by mu
+	free     *call            // guarded by mu: recycled call records
+	corked   int              // guarded by mu: Cork nesting depth
+	queue    []queued         // guarded by mu: sends deferred while corked
+	sendBufs [][]byte         // guarded by mu: flush scratch, reused across Uncorks
+	closed   bool             // guarded by mu
 }
 
 // NewConn builds a reliable connection over pipe. The owner must route
 // inbound datagrams from the peer to Deliver.
 func NewConn(pipe Pipe, cfg ConnConfig) *Conn {
 	cfg.fill()
-	return &Conn{cfg: cfg, pipe: pipe, pending: make(map[uint32]*call)}
+	c := &Conn{cfg: cfg, pipe: pipe, pending: make(map[uint32]*call)}
+	if bp, ok := pipe.(BatchPipe); ok {
+		c.batch = bp
+	}
+	return c
 }
 
 // Stats snapshots the reliability counters from the connection's metrics
@@ -130,14 +179,72 @@ func (c *Conn) Stats() ConnStats {
 // Metrics returns the connection's metrics instance (never nil after NewConn).
 func (c *Conn) Metrics() *ConnMetrics { return c.cfg.Metrics }
 
+// newCallLocked draws a call record from the free list.
+func (c *Conn) newCallLocked() *call {
+	cl := c.free
+	if cl == nil {
+		//edmlint:allow hotpath free-list miss: allocates only up to the window's high-water mark
+		return &call{}
+	}
+	c.free = cl.next
+	cl.next = nil
+	cl.done = false
+	cl.attempts = 0
+	cl.start = 0
+	return cl
+}
+
+// freeCallLocked recycles a retired record. Callers must have saved the
+// cb/comp/want/start fields they still need — the record may be handed to a
+// new call the moment the lock drops.
+func (c *Conn) freeCallLocked(cl *call) {
+	cl.cb = nil
+	cl.comp = nil
+	cl.enc = cl.enc[:0]
+	cl.next = c.free
+	c.free = cl
+}
+
+// retireLocked completes a call's bookkeeping: out of pending, timer
+// stopped, recycled unless a send still references its buffer (afterSend
+// recycles it then).
+func (c *Conn) retireLocked(cl *call) {
+	cl.done = true
+	delete(c.pending, cl.id)
+	if cl.timer != nil {
+		cl.timer.Stop()
+	}
+	if cl.sending == 0 {
+		c.freeCallLocked(cl)
+	}
+}
+
 // Call transmits a request and invokes cb exactly once: with the response,
 // or with ErrTimeout after the retry budget, or with ErrClosed if the
 // connection closes first. The assigned message ID is returned. cb may be
 // invoked synchronously (before Call returns) on transports that deliver
-// in the caller's stack, such as the loopback.
+// in the caller's stack, such as the loopback. The response Msg is valid
+// only during the callback; Clone it to retain it.
 //
 //edmlint:hotpath one Call per client operation
 func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
+	return c.submit(m, cb, nil)
+}
+
+// CallC is Call with a Completion instead of a closure: the caller supplies
+// a reusable per-op struct, so issuing a request allocates nothing.
+//
+//edmlint:hotpath one CallC per client operation
+func (c *Conn) CallC(m *Msg, comp Completion) (uint32, error) {
+	return c.submit(m, nil, comp)
+}
+
+// submit encodes m into a pooled call record and either transmits it or,
+// while corked, queues it for the Uncork flush. m itself is not retained:
+// it may be pooled or reused the moment submit returns.
+//
+//edmlint:hotpath the one submission path for every request
+func (c *Conn) submit(m *Msg, cb func(*Msg, error), comp Completion) (uint32, error) {
 	if !m.Kind.IsRequest() {
 		return 0, fmt.Errorf("%w: %v is not a request", ErrBadMsg, m.Kind)
 	}
@@ -149,33 +256,126 @@ func (c *Conn) Call(m *Msg, cb func(*Msg, error)) (uint32, error) {
 	id := c.nextID
 	c.nextID++
 	m.ID = id
-	enc, err := m.Encode()
+	cl := c.newCallLocked()
+	enc, err := m.AppendEncode(cl.enc[:0])
 	if err != nil {
+		c.freeCallLocked(cl)
 		c.mu.Unlock()
 		return 0, err
 	}
-	//edmlint:allow hotpath one call record per op is the protocol's bookkeeping
-	cl := &call{enc: enc, want: m.Kind.Response(), cb: cb, attempts: 1}
+	cl.enc = enc
+	cl.id = id
+	cl.want = m.Kind.Response()
+	cl.cb = cb
+	cl.comp = comp
+	cl.attempts = 1
 	if c.cfg.NowNS != nil {
 		cl.start = c.cfg.NowNS()
 	}
+	start := cl.start
 	c.pending[id] = cl
-	c.mu.Unlock()
 	mt := c.cfg.Metrics
+	if c.corked > 0 {
+		c.queue = append(c.queue, queued{id: id, cl: cl})
+		c.mu.Unlock()
+		mt.Requests[m.Kind].Inc()
+		mt.InFlight.Add(1)
+		c.cfg.Trace.Record(uint64(id), telemetry.StageEnqueue, uint8(m.Kind), start, 0)
+		return id, nil
+	}
+	cl.sending++
+	c.mu.Unlock()
 	mt.Datagrams.Inc()
 	mt.Requests[m.Kind].Inc()
 	mt.InFlight.Add(1)
-	c.cfg.Trace.Record(uint64(id), telemetry.StageEnqueue, uint8(m.Kind), cl.start, 0)
+	c.cfg.Trace.Record(uint64(id), telemetry.StageEnqueue, uint8(m.Kind), start, 0)
 	// Send outside the lock: a synchronous transport (loopback) delivers
 	// the response in this same stack, re-entering Deliver. A transport
-	// error is treated like a lost datagram — the retry timer armed below
-	// will either get through or time the call out.
+	// error is treated like a lost datagram — the retry timer armed in
+	// afterSend will either get through or time the call out.
 	c.pipe.Send(enc)
 	if c.cfg.Trace != nil {
 		c.cfg.Trace.Record(uint64(id), telemetry.StageSend, uint8(m.Kind), c.timestamp(), 0)
 	}
-	c.arm(id, cl)
+	c.afterSend(cl)
 	return id, nil
+}
+
+// Cork suspends transmission: subsequent calls are encoded and registered
+// as pending but their datagrams queue until the matching Uncork, which
+// flushes them as one batch (a single sendmmsg on batching transports).
+// Cork/Uncork pairs nest; only the outermost Uncork flushes. Retransmission
+// timers arm at flush time, so a corked call's retry clock starts when its
+// datagram first hits the wire.
+func (c *Conn) Cork() {
+	c.mu.Lock()
+	c.corked++
+	c.mu.Unlock()
+}
+
+// Uncork flushes the corked queue. Calls that were completed or aborted
+// while corked (a synchronous transport cannot complete them, but Abort or
+// Close can fail them) are skipped.
+//
+//edmlint:hotpath one Uncork per batch flush
+func (c *Conn) Uncork() {
+	c.mu.Lock()
+	if c.corked > 0 {
+		c.corked--
+	}
+	if c.corked > 0 || len(c.queue) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	// Steal the queue and the buffer scratch; both return below so repeat
+	// flushes reuse their capacity.
+	queue := c.queue
+	c.queue = nil
+	bufs := c.sendBufs[:0]
+	c.sendBufs = nil
+	live := queue[:0]
+	for _, q := range queue {
+		if q.cl.done || c.pending[q.id] != q.cl {
+			continue
+		}
+		q.cl.sending++
+		live = append(live, q)
+		bufs = append(bufs, q.cl.enc)
+	}
+	c.mu.Unlock()
+	if len(live) > 0 {
+		c.cfg.Metrics.Datagrams.Add(uint64(len(live)))
+		if c.batch != nil {
+			c.batch.SendBatch(bufs)
+		} else {
+			for _, b := range bufs {
+				c.pipe.Send(b)
+			}
+		}
+		if c.cfg.Trace != nil {
+			now := c.timestamp()
+			for _, q := range live {
+				c.cfg.Trace.Record(uint64(q.id), telemetry.StageSend, uint8(q.cl.want), now, 0)
+			}
+		}
+	}
+	for _, q := range live {
+		c.afterSend(q.cl)
+	}
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	for i := range queue {
+		queue[i] = queued{}
+	}
+	c.mu.Lock()
+	if c.queue == nil {
+		c.queue = queue[:0]
+	}
+	if c.sendBufs == nil {
+		c.sendBufs = bufs[:0]
+	}
+	c.mu.Unlock()
 }
 
 // timestamp reads the configured clock; zero when none is wired.
@@ -186,68 +386,90 @@ func (c *Conn) timestamp() int64 {
 	return c.cfg.NowNS()
 }
 
-// arm starts (or restarts) the retransmission timer for a call, after its
-// send attempt has returned. Arming after the send — not before — matters
-// for synchronous transports: the response may already have been delivered
-// in the send's own stack, and a pre-armed timer could race it under
-// scheduler jitter, retransmitting a message that was never lost.
+// afterSend runs once a send attempt referencing cl.enc has returned: drop
+// the send reference, recycle the record if the call completed while the
+// datagram was in flight, otherwise (re)arm the retransmission timer.
+// Arming after the send — not before — matters for synchronous transports:
+// the response may already have been delivered in the send's own stack, and
+// a pre-armed timer could race it under scheduler jitter, retransmitting a
+// message that was never lost.
 //
-//edmlint:hotpath runs once per Call; the timer is allocated once then Reset
+//edmlint:hotpath runs once per send attempt; the timer is allocated once then Reset
 //edmlint:allow walltime,hotpath retransmission deadlines are wall time by contract
-func (c *Conn) arm(id uint32, cl *call) {
+func (c *Conn) afterSend(cl *call) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if cl.done || c.closed {
+	cl.sending--
+	if cl.done {
+		if cl.sending == 0 {
+			c.freeCallLocked(cl)
+		}
+		return
+	}
+	if c.closed {
 		return
 	}
 	if cl.timer == nil {
-		cl.timer = time.AfterFunc(c.cfg.RetryTimeout, func() { c.retry(id) })
+		cl.timer = time.AfterFunc(c.cfg.RetryTimeout, func() { c.retry(cl) })
 	} else {
 		cl.timer.Reset(c.cfg.RetryTimeout)
 	}
 }
 
-// retry fires on the per-message timer: retransmit, or fail the call.
-func (c *Conn) retry(id uint32) {
+// retry fires on the per-record timer: retransmit, or fail the call. A
+// stale firing — the timer's Stop raced a completion and the record now
+// carries a newer call — is detected by the pending check and at worst
+// costs one early retransmission, which the server's duplicate window
+// absorbs.
+func (c *Conn) retry(cl *call) {
 	c.mu.Lock()
-	cl, ok := c.pending[id]
-	if !ok || cl.done || c.closed {
+	if c.closed || cl.done || c.pending[cl.id] != cl {
 		c.mu.Unlock()
 		return
 	}
+	id, want := cl.id, cl.want
 	if cl.attempts > c.cfg.MaxRetries {
-		cl.done = true
-		delete(c.pending, id)
+		attempts := cl.attempts
+		cb, comp := cl.cb, cl.comp
+		c.retireLocked(cl)
 		c.mu.Unlock()
 		c.cfg.Metrics.Timeouts.Inc()
 		c.cfg.Metrics.InFlight.Add(-1)
 		if c.cfg.Trace != nil {
-			c.cfg.Trace.Record(uint64(id), telemetry.StageTimeout, uint8(cl.want), c.timestamp(), uint64(cl.attempts))
+			c.cfg.Trace.Record(uint64(id), telemetry.StageTimeout, uint8(want), c.timestamp(), uint64(attempts))
 		}
-		if cl.cb != nil {
-			cl.cb(nil, fmt.Errorf("%w (after %d attempts)", ErrTimeout, cl.attempts))
+		err := fmt.Errorf("%w (after %d attempts)", ErrTimeout, attempts)
+		if comp != nil {
+			comp.Done(nil, err)
+		} else if cb != nil {
+			cb(nil, err)
 		}
 		return
 	}
 	cl.attempts++
 	attempts := cl.attempts
+	cl.sending++
+	enc := cl.enc
 	c.mu.Unlock()
 	c.cfg.Metrics.Datagrams.Inc()
 	c.cfg.Metrics.Retransmits.Inc()
-	c.pipe.Send(cl.enc)
+	c.pipe.Send(enc)
 	if c.cfg.Trace != nil {
-		c.cfg.Trace.Record(uint64(id), telemetry.StageRetry, uint8(cl.want), c.timestamp(), uint64(attempts))
+		c.cfg.Trace.Record(uint64(id), telemetry.StageRetry, uint8(want), c.timestamp(), uint64(attempts))
 	}
-	c.arm(id, cl)
+	c.afterSend(cl)
 }
 
 // Deliver is the inbound datagram path: decode, match by ID, complete the
-// call. Unmatched or undecodable datagrams are counted and dropped.
+// call. Unmatched or undecodable datagrams are counted and dropped. The
+// decoded Msg is pooled — handed to the callback for the duration of the
+// callback only.
 //
 //edmlint:hotpath one Deliver per response datagram
 func (c *Conn) Deliver(p []byte) {
-	m, err := Decode(p)
-	if err != nil {
+	m := getMsg()
+	if err := DecodeInto(m, p); err != nil {
+		putMsg(m)
 		c.cfg.Metrics.Garbage.Inc()
 		return
 	}
@@ -258,13 +480,11 @@ func (c *Conn) Deliver(p []byte) {
 		// already delivered, or a kind mismatch.
 		c.mu.Unlock()
 		c.cfg.Metrics.Stray.Inc()
+		putMsg(m)
 		return
 	}
-	cl.done = true
-	delete(c.pending, m.ID)
-	if cl.timer != nil {
-		cl.timer.Stop()
-	}
+	cb, comp, start := cl.cb, cl.comp, cl.start
+	c.retireLocked(cl)
 	c.mu.Unlock()
 	c.cfg.Metrics.Responses.Inc()
 	c.cfg.Metrics.RecvByKind[m.Kind].Inc()
@@ -272,14 +492,17 @@ func (c *Conn) Deliver(p []byte) {
 	if c.cfg.Trace != nil {
 		now := c.timestamp()
 		var lat uint64
-		if cl.start != 0 && now > cl.start {
-			lat = uint64(now - cl.start)
+		if start != 0 && now > start {
+			lat = uint64(now - start)
 		}
 		c.cfg.Trace.Record(uint64(m.ID), telemetry.StageComplete, uint8(m.Kind), now, lat)
 	}
-	if cl.cb != nil {
-		cl.cb(m, nil)
+	if comp != nil {
+		comp.Done(m, nil)
+	} else if cb != nil {
+		cb(m, nil)
 	}
+	putMsg(m)
 }
 
 // Pending reports the number of in-flight calls.
@@ -287,6 +510,13 @@ func (c *Conn) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pending)
+}
+
+// pendingDone is a completion target saved off a retiring call record (the
+// record itself may be recycled before the callback runs).
+type pendingDone struct {
+	cb   func(*Msg, error)
+	comp Completion
 }
 
 // Abort fails every pending call with err (ErrClosed if nil) without
@@ -299,30 +529,29 @@ func (c *Conn) Abort(err error) {
 		err = ErrClosed
 	}
 	c.mu.Lock()
-	calls := c.takePendingLocked()
+	done := c.takePendingLocked()
 	c.mu.Unlock()
-	c.cfg.Metrics.InFlight.Add(-int64(len(calls)))
-	for _, cl := range calls {
-		if cl.cb != nil {
-			cl.cb(nil, err)
+	c.cfg.Metrics.InFlight.Add(-int64(len(done)))
+	for _, d := range done {
+		if d.comp != nil {
+			d.comp.Done(nil, err)
+		} else if d.cb != nil {
+			d.cb(nil, err)
 		}
 	}
 }
 
-// takePendingLocked detaches every live pending call, stopping its timer.
-func (c *Conn) takePendingLocked() []*call {
-	calls := make([]*call, 0, len(c.pending))
-	for id, cl := range c.pending {
+// takePendingLocked retires every live pending call, returning the saved
+// completion targets.
+func (c *Conn) takePendingLocked() []pendingDone {
+	done := make([]pendingDone, 0, len(c.pending))
+	for _, cl := range c.pending {
 		if !cl.done {
-			cl.done = true
-			if cl.timer != nil {
-				cl.timer.Stop()
-			}
-			calls = append(calls, cl)
+			done = append(done, pendingDone{cb: cl.cb, comp: cl.comp})
+			c.retireLocked(cl)
 		}
-		delete(c.pending, id)
 	}
-	return calls
+	return done
 }
 
 // Close fails every pending call with ErrClosed and closes the pipe.
@@ -333,12 +562,15 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
-	calls := c.takePendingLocked()
+	c.queue = nil
+	done := c.takePendingLocked()
 	c.mu.Unlock()
-	c.cfg.Metrics.InFlight.Add(-int64(len(calls)))
-	for _, cl := range calls {
-		if cl.cb != nil {
-			cl.cb(nil, ErrClosed)
+	c.cfg.Metrics.InFlight.Add(-int64(len(done)))
+	for _, d := range done {
+		if d.comp != nil {
+			d.comp.Done(nil, ErrClosed)
+		} else if d.cb != nil {
+			d.cb(nil, ErrClosed)
 		}
 	}
 	return c.pipe.Close()
@@ -370,12 +602,17 @@ type ResponderStats struct {
 }
 
 // respEntry is one duplicate-suppression slot. It is inserted before the
-// handler runs (done open, enc nil) so a retransmission racing the first
+// handler runs (done false, enc empty) so a retransmission racing the first
 // execution waits for the response instead of re-executing — the guarantee
-// that keeps RMWs exactly-once.
+// that keeps RMWs exactly-once. Entries live on a free list; enc is owned
+// by the entry and reused across evict/insert cycles, and the waiters count
+// pins an entry (and its enc) against recycling while a replay still
+// references it.
 type respEntry struct {
-	enc  []byte
-	done chan struct{}
+	enc     []byte
+	done    bool       // guarded by mu: response cached, safe to replay
+	waiters int        // guarded by mu: replays using this entry
+	next    *respEntry // guarded by mu: free-list link
 }
 
 // Responder is the server half of the reliable layer for one client session:
@@ -384,27 +621,39 @@ type respEntry struct {
 // transmits the response. The handler runs on the delivering goroutine.
 type Responder struct {
 	pipe    Pipe
-	handler func(*Msg) *Msg
+	handler func(req, resp *Msg)
 	metrics *ResponderMetrics
 
-	mu     sync.Mutex
-	window int
-	cache  map[uint32]*respEntry // guarded by mu
-	order  []uint32              // guarded by mu
+	mu      sync.Mutex
+	filled  *sync.Cond // signals entries transitioning to done
+	waiting int        // guarded by mu: goroutines parked in filled.Wait
+	window  int
+	cache   map[uint32]*respEntry // guarded by mu
+	order   []uint32              // guarded by mu: ring of cached IDs, oldest first
+	head    int                   // guarded by mu: ring read position
+	count   int                   // guarded by mu: ring occupancy
+	free    *respEntry            // guarded by mu: recycled entries
 }
 
-// NewResponder builds the server half over pipe. handler maps one fresh
-// request to its response (it must always return a response; protocol errors
-// are responses with a non-OK status).
-func NewResponder(pipe Pipe, cfg ResponderConfig, handler func(*Msg) *Msg) *Responder {
+// NewResponder builds the server half over pipe. handler serves one fresh
+// request: req carries the decoded request, resp arrives reset with Kind
+// pre-set to req's response kind and the matching ID. The handler fills in
+// status and payload — writing resp.Data via append(resp.Data[:0], ...) or
+// assigning a fresh slice (the buffer is donated to the response pool
+// either way; it must not alias memory the handler keeps). Both messages
+// are pooled: valid only for the duration of the call, never retained.
+// Protocol errors are responses with a non-OK status.
+func NewResponder(pipe Pipe, cfg ResponderConfig, handler func(req, resp *Msg)) *Responder {
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultResponderWindow
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewResponderMetrics(nil)
 	}
-	return &Responder{pipe: pipe, handler: handler, metrics: cfg.Metrics,
+	r := &Responder{pipe: pipe, handler: handler, metrics: cfg.Metrics,
 		window: cfg.Window, cache: make(map[uint32]*respEntry, cfg.Window)}
+	r.filled = sync.NewCond(&r.mu)
+	return r
 }
 
 // Stats snapshots the responder counters from its metrics (shared
@@ -418,16 +667,65 @@ func (r *Responder) Stats() ResponderStats {
 	}
 }
 
+// newEntryLocked draws a dedup entry from the free list.
+func (r *Responder) newEntryLocked() *respEntry {
+	e := r.free
+	if e == nil {
+		//edmlint:allow hotpath free-list miss: allocates only until the dedup window fills
+		return &respEntry{}
+	}
+	r.free = e.next
+	e.next = nil
+	e.done = false
+	e.waiters = 0
+	e.enc = e.enc[:0]
+	return e
+}
+
+func (r *Responder) freeEntryLocked(e *respEntry) {
+	e.next = r.free
+	r.free = e
+}
+
+// pushOrderLocked appends id to the eviction ring, growing it by doubling
+// (the ring tops out at the configured window plus in-flight overshoot).
+func (r *Responder) pushOrderLocked(id uint32) {
+	if r.count == len(r.order) {
+		n := 2 * len(r.order)
+		if n == 0 {
+			n = 64
+		}
+		//edmlint:allow hotpath ring growth is amortized and bounded by the dedup window
+		grown := make([]uint32, n)
+		for i := 0; i < r.count; i++ {
+			grown[i] = r.order[(r.head+i)%len(r.order)]
+		}
+		r.order = grown
+		r.head = 0
+	}
+	r.order[(r.head+r.count)%len(r.order)] = id
+	r.count++
+}
+
+func (r *Responder) popOrderLocked() uint32 {
+	id := r.order[r.head]
+	r.head = (r.head + 1) % len(r.order)
+	r.count--
+	return id
+}
+
 // Deliver is the inbound datagram path for one client's requests.
 //
 //edmlint:hotpath one Deliver per request datagram
 func (r *Responder) Deliver(p []byte) {
-	m, err := Decode(p)
-	if err != nil {
+	m := getMsg()
+	if err := DecodeInto(m, p); err != nil {
+		putMsg(m)
 		r.metrics.Garbage.Inc()
 		return
 	}
 	if !m.Kind.IsRequest() {
+		putMsg(m)
 		r.metrics.Rejected.Inc()
 		return
 	}
@@ -435,49 +733,72 @@ func (r *Responder) Deliver(p []byte) {
 	r.mu.Lock()
 	if e, ok := r.cache[m.ID]; ok {
 		// Duplicate: wait out a still-running first execution, then replay
-		// its response without re-executing.
+		// its response without re-executing. The waiters count pins the
+		// entry so eviction cannot recycle its buffer mid-replay.
+		e.waiters++
+		for !e.done {
+			r.waiting++
+			r.filled.Wait()
+			r.waiting--
+		}
+		enc := e.enc
 		r.mu.Unlock()
 		r.metrics.Duplicates.Inc()
-		<-e.done
-		r.pipe.Send(e.enc)
+		putMsg(m)
+		r.pipe.Send(enc)
+		r.mu.Lock()
+		e.waiters--
+		r.mu.Unlock()
 		return
 	}
-	//edmlint:allow hotpath one dedup entry per fresh request is the exactly-once cost
-	e := &respEntry{done: make(chan struct{})}
-	if len(r.order) >= r.window {
-		// Evict the oldest *completed* entry. An entry whose handler is
-		// still running must survive — its retransmissions have to keep
-		// hitting the cache or the request would re-execute, breaking
-		// exactly-once. If every entry is in flight (bounded by the
-		// client's concurrency), the cache temporarily overshoots.
-		for i := 0; i < len(r.order); i++ {
-			oldest := r.order[0]
-			r.order = r.order[1:]
-			select {
-			case <-r.cache[oldest].done:
+	e := r.newEntryLocked()
+	if r.count >= r.window {
+		// Evict the oldest *completed, unreferenced* entry. An entry whose
+		// handler is still running must survive — its retransmissions have
+		// to keep hitting the cache or the request would re-execute,
+		// breaking exactly-once. If every entry is in flight (bounded by
+		// the client's concurrency), the cache temporarily overshoots.
+		for i, n := 0, r.count; i < n; i++ {
+			oldest := r.popOrderLocked()
+			old := r.cache[oldest]
+			if old.done && old.waiters == 0 {
 				delete(r.cache, oldest)
-			default:
-				r.order = append(r.order, oldest)
-				continue
+				r.freeEntryLocked(old)
+				break
 			}
-			break
+			r.pushOrderLocked(oldest)
 		}
 	}
 	r.cache[m.ID] = e
-	r.order = append(r.order, m.ID)
+	r.pushOrderLocked(m.ID)
+	scratch := e.enc
 	r.mu.Unlock()
 	r.metrics.Requests.Inc()
 
-	resp := r.handler(m)
+	resp := getMsg()
+	resp.Kind = m.Kind.Response()
 	resp.ID = m.ID
-	enc, err := resp.Encode()
+	r.handler(m, resp)
+	resp.ID = m.ID
+	enc, err := resp.AppendEncode(scratch[:0])
 	if err != nil {
 		// An over-large response is a handler bug; answer with a status
 		// the client can surface instead of going silent.
-		//edmlint:allow hotpath cold path: handler produced an unencodable response
-		enc, _ = (&Msg{Kind: m.Kind.Response(), ID: m.ID, Status: StatusProto}).Encode()
+		resp.Reset()
+		resp.Kind = m.Kind.Response()
+		resp.ID = m.ID
+		resp.Status = StatusProto
+		enc, _ = resp.AppendEncode(scratch[:0])
 	}
+	putMsg(resp)
+	putMsg(m)
+	r.mu.Lock()
 	e.enc = enc
-	close(e.done)
+	e.done = true
+	wake := r.waiting > 0
+	r.mu.Unlock()
+	if wake {
+		r.filled.Broadcast()
+	}
 	r.pipe.Send(enc)
 }

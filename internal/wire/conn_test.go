@@ -13,16 +13,26 @@ import (
 
 // echoHandler answers every request with its response kind, echoing the
 // payload for RREQ-sized checks.
-func echoHandler(m *Msg) *Msg {
-	resp := &Msg{Kind: m.Kind.Response()}
+func echoHandler(m, resp *Msg) {
 	if m.Kind == KindRREQ {
-		resp.Data = make([]byte, m.Count)
+		resp.Data = growTestData(resp.Data, int(m.Count))
 	}
-	return resp
+}
+
+// growTestData returns a zeroed slice of n bytes reusing d's capacity.
+func growTestData(d []byte, n int) []byte {
+	if cap(d) < n {
+		return make([]byte, n)
+	}
+	d = d[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	return d
 }
 
 // pair wires a Conn and a Responder over a fresh loopback.
-func pair(t *testing.T, lcfg LoopbackConfig, ccfg ConnConfig, handler func(*Msg) *Msg) (*Loopback, *Conn, *Responder) {
+func pair(t *testing.T, lcfg LoopbackConfig, ccfg ConnConfig, handler func(req, resp *Msg)) (*Loopback, *Conn, *Responder) {
 	t.Helper()
 	if handler == nil {
 		handler = echoHandler
@@ -42,7 +52,11 @@ func callSync(t *testing.T, conn *Conn, m *Msg) (*Msg, error) {
 	var resp *Msg
 	var cerr error
 	if _, err := conn.Call(m, func(r *Msg, err error) {
-		resp, cerr = r, err
+		// The response is pooled and valid only during the callback.
+		if r != nil {
+			resp = r.Clone()
+		}
+		cerr = err
 		close(ch)
 	}); err != nil {
 		return nil, err
@@ -115,9 +129,9 @@ func TestConnDuplicateSuppression(t *testing.T) {
 		return FaultNone
 	}}
 	executions := 0
-	handler := func(m *Msg) *Msg {
+	handler := func(m, resp *Msg) {
 		executions++
-		return echoHandler(m)
+		echoHandler(m, resp)
 	}
 	_, conn, resp := pair(t, cfg, ConnConfig{RetryTimeout: 5 * time.Millisecond, MaxRetries: 3}, handler)
 	if _, err := callSync(t, conn, &Msg{Kind: KindRMWREQ, Addr: 8, Op: 2, Args: []uint64{1}}); err != nil {
@@ -222,15 +236,13 @@ func TestLoopbackVirtualClock(t *testing.T) {
 // TestConnPipelined: many overlapping calls over one connection complete
 // with their own responses (ID matching), from concurrent goroutines.
 func TestConnPipelined(t *testing.T) {
-	handler := func(m *Msg) *Msg {
-		resp := echoHandler(m)
+	handler := func(m, resp *Msg) {
 		if m.Kind == KindRREQ {
-			resp.Data = make([]byte, m.Count)
+			resp.Data = growTestData(resp.Data, int(m.Count))
 			for i := range resp.Data {
 				resp.Data[i] = byte(m.Addr)
 			}
 		}
-		return resp
 	}
 	_, conn, _ := pair(t, LoopbackConfig{}, ConnConfig{}, handler)
 	const calls = 64

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blackholePipe answers every request except the first one it sees (the
+// victim), whose datagrams it swallows and records. The victim's call record
+// therefore stays pending with a live retransmission timer while other
+// calls churn the connection's free list.
+type blackholePipe struct {
+	conn *Conn
+
+	mu        sync.Mutex
+	haveVict  bool
+	victimID  uint32
+	victimTxs [][]byte // copies of every victim transmission
+}
+
+func (p *blackholePipe) Send(b []byte) error {
+	var m Msg
+	if err := DecodeInto(&m, b); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if !p.haveVict {
+		p.haveVict = true
+		p.victimID = m.ID
+	}
+	if m.ID == p.victimID {
+		p.victimTxs = append(p.victimTxs, append([]byte(nil), b...))
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	enc, err := (&Msg{Kind: m.Kind.Response(), ID: m.ID, Status: StatusOK}).Encode()
+	if err != nil {
+		return err
+	}
+	p.conn.Deliver(enc)
+	return nil
+}
+
+func (p *blackholePipe) Close() error { return nil }
+
+// TestRetransmitBufferStableUnderChurn is the pooled-buffer lifecycle check:
+// a call record's encode buffer must not be recycled (and rewritten by a new
+// call) while a retransmission timer still references it. The victim call is
+// never answered, so its buffer stays owned across many timer firings; the
+// churn calls complete synchronously and recycle records through the free
+// list the whole time. Every victim transmission must be byte-identical to
+// the first — any reuse of its buffer would show up as a corrupted or
+// rewritten retransmission.
+func TestRetransmitBufferStableUnderChurn(t *testing.T) {
+	p := &blackholePipe{}
+	c := NewConn(p, ConnConfig{RetryTimeout: 2 * time.Millisecond, MaxRetries: 1000})
+	p.conn = c
+
+	victimDone := make(chan error, 1)
+	if _, err := c.Call(&Msg{Kind: KindRREQ, Addr: 0xabcd, Count: 64},
+		func(_ *Msg, err error) { victimDone <- err }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn: records and enc buffers cycle through the free list with
+	// varying payload sizes, interleaved with victim retransmissions.
+	data := make([]byte, 512)
+	for i := 0; i < 400; i++ {
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		payload := data[:64+(i%7)*64]
+		done := false
+		if _, err := c.Call(&Msg{Kind: KindWREQ, Addr: uint64(i) * 8,
+			Count: uint32(len(payload)), Data: payload},
+			func(_ *Msg, err error) {
+				if err != nil {
+					t.Error(err)
+				}
+				done = true
+			}); err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			t.Fatal("synchronous pipe did not complete the churn call")
+		}
+		if i%100 == 0 {
+			//edmlint:allow walltime the retransmission timer under test is real wall-clock time
+			time.Sleep(3 * time.Millisecond) // let the victim's timer fire mid-churn
+		}
+	}
+	// Collect a few more retransmissions with the free list fully primed.
+	//edmlint:allow walltime the retransmission timer under test is real wall-clock time
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	if err := <-victimDone; err == nil {
+		t.Fatal("victim call completed without a response")
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.victimTxs) < 3 {
+		t.Fatalf("victim transmitted %d times, want >= 3 (timer not firing?)", len(p.victimTxs))
+	}
+	for i, tx := range p.victimTxs[1:] {
+		if !bytes.Equal(tx, p.victimTxs[0]) {
+			t.Fatalf("retransmission %d differs from the original request:\n  first: %x\n  retry: %x",
+				i+1, p.victimTxs[0], tx)
+		}
+	}
+	var m Msg
+	if err := DecodeInto(&m, p.victimTxs[0]); err != nil {
+		t.Fatalf("victim datagram does not decode: %v", err)
+	}
+	if m.Kind != KindRREQ || m.Addr != 0xabcd || m.Count != 64 {
+		t.Fatalf("victim datagram decoded to %+v", m)
+	}
+}
+
+// TestLoopbackSendBatchMatchesSequential: the loopback's SendBatch is the
+// batched transport used by corked flushes, and seeded runs stay
+// reproducible only if it is indistinguishable from sequential sends — same
+// delivered bytes, same order, same virtual-clock charge, same stats.
+func TestLoopbackSendBatchMatchesSequential(t *testing.T) {
+	mk := func() (*Loopback, *[][]byte) {
+		lb := NewLoopback(LoopbackConfig{})
+		got := &[][]byte{}
+		lb.BindServer(func(p []byte) { *got = append(*got, append([]byte(nil), p...)) })
+		return lb, got
+	}
+	var msgs [][]byte
+	for i := 0; i < 12; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 8+i*16)
+		enc, err := (&Msg{Kind: KindWREQ, ID: uint32(i), Addr: uint64(i) * 64,
+			Count: uint32(len(payload)), Data: payload}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, enc)
+	}
+
+	seqLB, seqGot := mk()
+	seqPipe := seqLB.ClientPipe()
+	for _, p := range msgs {
+		if err := seqPipe.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batchLB, batchGot := mk()
+	bp, ok := batchLB.ClientPipe().(BatchPipe)
+	if !ok {
+		t.Fatal("loopback pipe does not implement BatchPipe")
+	}
+	if err := bp.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+
+	if seqLB.Now() != batchLB.Now() {
+		t.Errorf("virtual clock diverged: sequential %v, batched %v", seqLB.Now(), batchLB.Now())
+	}
+	if seqLB.Stats() != batchLB.Stats() {
+		t.Errorf("stats diverged: sequential %+v, batched %+v", seqLB.Stats(), batchLB.Stats())
+	}
+	if len(*seqGot) != len(*batchGot) {
+		t.Fatalf("delivered %d sequential vs %d batched datagrams", len(*seqGot), len(*batchGot))
+	}
+	for i := range *seqGot {
+		if !bytes.Equal((*seqGot)[i], (*batchGot)[i]) {
+			t.Fatalf("datagram %d differs between sequential and batched delivery", i)
+		}
+	}
+}

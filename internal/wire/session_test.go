@@ -21,12 +21,11 @@ func TestResponderEvictionKeepsInflight(t *testing.T) {
 	pipe := collectPipe{&mu, &sent}
 	var executions atomic.Int32
 	release := make(chan struct{})
-	handler := func(m *Msg) *Msg {
+	handler := func(m, _ *Msg) {
 		executions.Add(1)
 		if m.ID == 0 {
 			<-release // first request stalls mid-execution
 		}
-		return &Msg{Kind: m.Kind.Response()}
 	}
 	r := NewResponder(pipe, ResponderConfig{Window: 2}, handler)
 
@@ -89,18 +88,16 @@ func (p collectPipe) Close() error { return nil }
 func TestUDPSessionResetOnHello(t *testing.T) {
 	executions := 0
 	var mu sync.Mutex
-	handler := func(m *Msg) *Msg {
+	handler := func(m, resp *Msg) {
 		mu.Lock()
 		executions++
 		n := executions
 		mu.Unlock()
-		resp := &Msg{Kind: m.Kind.Response()}
 		if m.Kind == KindRREQ {
 			// Tag the response with the execution count so a stale cached
 			// replay is distinguishable from a fresh execution.
-			resp.Data = []byte{byte(n)}
+			resp.Data = append(resp.Data[:0], byte(n))
 		}
-		return resp
 	}
 	server, err := ListenUDP("127.0.0.1:0", func(_ string, reply Pipe) func([]byte) {
 		return NewResponder(reply, ResponderConfig{}, handler).Deliver
@@ -163,9 +160,8 @@ func TestUDPSessionResetOnHello(t *testing.T) {
 // cache mid-pipeline would let retransmitted RMWs re-execute.
 func TestUDPDuplicateHelloKeepsSession(t *testing.T) {
 	var executions atomic.Int32
-	handler := func(m *Msg) *Msg {
+	handler := func(_, _ *Msg) {
 		executions.Add(1)
-		return &Msg{Kind: m.Kind.Response()}
 	}
 	server, err := ListenUDP("127.0.0.1:0", func(_ string, reply Pipe) func([]byte) {
 		return NewResponder(reply, ResponderConfig{}, handler).Deliver
@@ -233,7 +229,13 @@ func udpCallSync(t *testing.T, c *Conn, m *Msg) *Msg {
 		err error
 	}
 	ch := make(chan res, 1)
-	if _, err := c.Call(m, func(r *Msg, err error) { ch <- res{r, err} }); err != nil {
+	// Clone: the response is pooled and valid only during the callback.
+	if _, err := c.Call(m, func(r *Msg, err error) {
+		if r != nil {
+			r = r.Clone()
+		}
+		ch <- res{r, err}
+	}); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -5,13 +5,17 @@ package wire
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
 
-// UDPClient is the client-side Pipe over a connected UDP socket.
+// UDPClient is the client-side Pipe over a connected UDP socket. It
+// implements BatchPipe: a corked window flush goes out as one sendmmsg on
+// platforms that have it.
 type UDPClient struct {
 	conn *net.UDPConn
+	bs   *batchSender
 
 	mu     sync.Mutex
 	closed bool
@@ -28,19 +32,23 @@ func DialUDP(addr string) (*UDPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &UDPClient{conn: conn}, nil
+	return &UDPClient{conn: conn, bs: newBatchSender(conn)}, nil
 }
 
-// Run starts the read loop, routing every inbound datagram to deliver. It
-// returns when the socket closes.
+// Run starts the read loop, routing every inbound datagram to deliver.
+// Datagrams arrive in receive buffers the loop reuses, so deliver must not
+// retain its argument past the call (Conn.Deliver and rmem's client decode
+// and copy, satisfying this). Run returns when the socket closes.
 func (u *UDPClient) Run(deliver func([]byte)) {
-	buf := make([]byte, MaxDatagram+1)
+	r := newBatchReceiver(u.conn, false)
 	for {
-		n, err := u.conn.Read(buf)
+		n, err := r.recvBatch()
 		if err != nil {
 			return
 		}
-		deliver(append([]byte(nil), buf[:n]...))
+		for i := 0; i < n; i++ {
+			deliver(r.pkt(i))
+		}
 	}
 }
 
@@ -48,6 +56,12 @@ func (u *UDPClient) Run(deliver func([]byte)) {
 func (u *UDPClient) Send(p []byte) error {
 	_, err := u.conn.Write(p)
 	return err
+}
+
+// SendBatch transmits ps in order, coalescing datagrams into batched
+// syscalls where the platform supports it.
+func (u *UDPClient) SendBatch(ps [][]byte) error {
+	return u.bs.send(ps)
 }
 
 // Close shuts the socket down, stopping the read loop.
@@ -87,11 +101,27 @@ type udpSession struct {
 	lastSeen time.Time // guarded by mu (the server's)
 }
 
+// packetWork is one inbound datagram bound for a session, parked on the
+// worker queue. buf comes from pktBufPool and returns there after delivery.
+type packetWork struct {
+	buf     *[]byte
+	n       int
+	deliver func([]byte)
+}
+
+// pktBufPool recycles the datagram copies handed to the worker pool, so the
+// server's receive path allocates no per-packet buffers in steady state.
+var pktBufPool = sync.Pool{New: func() any {
+	b := make([]byte, MaxDatagram+1)
+	return &b
+}}
+
 // UDPServer owns a listening UDP socket and demultiplexes datagrams to
 // per-remote sessions. The accept callback is invoked once per new remote
 // address with a reply Pipe and returns that session's receive path
-// (typically a Responder.Deliver); each datagram is then handled on its own
-// goroutine, so sessions execute concurrently.
+// (typically a Responder.Deliver); datagrams are then executed on a
+// fixed-size worker pool (GOMAXPROCS workers), so sessions run concurrently
+// without a goroutine per packet.
 //
 // Session lifecycle: a (CRC-valid) HELLO carrying a token different from
 // the current session's starts a fresh session — a restarted client
@@ -172,54 +202,89 @@ func sessionControl(p []byte) (hello, bye bool, token string) {
 	return m.Kind == KindHello, m.Kind == KindBye, string(m.Data)
 }
 
+// route classifies one datagram against the session table and returns the
+// session's receive path (nil when the server is closed or the session has
+// no deliver hook).
+func (s *UDPServer) route(p []byte, raddr *net.UDPAddr) func([]byte) {
+	hello, bye, token := sessionControl(p)
+	key := raddr.String()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	sess, ok := s.sessions[key]
+	// A HELLO resets the session unless it carries the current
+	// session's token (then it is a handshake retransmission).
+	reset := hello && (!ok || token == "" || token != sess.token)
+	if !ok || reset {
+		sess = &udpSession{
+			deliver: s.accept(key, &udpReply{conn: s.conn, addr: cloneUDPAddr(raddr)}),
+			token:   token,
+		}
+		s.sessions[key] = sess
+		s.sessMetrics.Started.Inc()
+		if ok && reset {
+			s.sessMetrics.Resets.Inc()
+		}
+	}
+	sess.lastSeen = time.Now()
+	if bye {
+		// Retired after this datagram's delivery; the BYE-ACK goes out via
+		// the session's own reply pipe regardless.
+		delete(s.sessions, key)
+		s.sessMetrics.Retired.Inc()
+	}
+	s.sessMetrics.Active.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	return sess.deliver
+}
+
+// readLoop drains the socket in recvmmsg batches and fans the packets out
+// to a fixed worker pool. Ordering note: packets from one remote can
+// execute on different workers concurrently, which is safe because the
+// Responder serializes per-ID execution through its dedup window; and a
+// worker blocked on an in-progress duplicate is always waiting on an
+// execution owned by a *different* packet, never its own, so the pool
+// cannot deadlock on itself.
 func (s *UDPServer) readLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, MaxDatagram+1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	work := make(chan packetWork, 4*workers)
+	var workerWG sync.WaitGroup
+	defer workerWG.Wait()
+	defer close(work)
+	for i := 0; i < workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for w := range work {
+				w.deliver((*w.buf)[:w.n])
+				pktBufPool.Put(w.buf)
+			}
+		}()
+	}
+	r := newBatchReceiver(s.conn, true)
 	for {
-		n, raddr, err := s.conn.ReadFromUDP(buf)
+		n, err := r.recvBatch()
 		if err != nil {
 			return
 		}
-		p := append([]byte(nil), buf[:n]...)
-		hello, bye, token := sessionControl(p)
-		key := raddr.String()
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		sess, ok := s.sessions[key]
-		// A HELLO resets the session unless it carries the current
-		// session's token (then it is a handshake retransmission).
-		reset := hello && (!ok || token == "" || token != sess.token)
-		if !ok || reset {
-			sess = &udpSession{
-				deliver: s.accept(key, &udpReply{conn: s.conn, addr: cloneUDPAddr(raddr)}),
-				token:   token,
+		for i := 0; i < n; i++ {
+			p := r.pkt(i)
+			deliver := s.route(p, r.src(i))
+			if deliver == nil {
+				continue
 			}
-			s.sessions[key] = sess
-			s.sessMetrics.Started.Inc()
-			if ok && reset {
-				s.sessMetrics.Resets.Inc()
-			}
+			// Copy out of the receiver's reused buffer; the pooled copy
+			// travels to a worker and returns to the pool after delivery.
+			buf := pktBufPool.Get().(*[]byte)
+			nb := copy(*buf, p)
+			work <- packetWork{buf: buf, n: nb, deliver: deliver}
 		}
-		sess.lastSeen = time.Now()
-		if bye {
-			// Retired after this datagram's delivery below; the BYE-ACK
-			// goes out via the session's own reply pipe regardless.
-			delete(s.sessions, key)
-			s.sessMetrics.Retired.Inc()
-		}
-		s.sessMetrics.Active.Set(int64(len(s.sessions)))
-		s.mu.Unlock()
-		if sess.deliver == nil {
-			continue
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			sess.deliver(p)
-		}()
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package wire
+
+// sysSendmmsg is the linux/amd64 sendmmsg syscall number (not in the
+// stdlib syscall table, which was frozen before sendmmsg landed).
+const sysSendmmsg = 307

@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package wire
+
+// sysSendmmsg is the linux/arm64 sendmmsg syscall number (mirrors
+// syscall.SYS_SENDMMSG, kept symmetric with the amd64 constant).
+const sysSendmmsg = 269

@@ -1,0 +1,234 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched UDP I/O via sendmmsg/recvmmsg. The raw syscalls are issued inside
+// the RawConn read/write callbacks so the netpoller keeps scheduling the
+// socket (returning false on EAGAIN parks the goroutine until readiness),
+// and the scratch msghdr/iovec arrays are heap-allocated: the kernel reads
+// them by pointer, and Go stacks — unlike the heap — can move.
+package wire
+
+import (
+	"net"
+	"strconv"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// udpBatchSize is how many datagrams one sendmmsg/recvmmsg call moves.
+const udpBatchSize = 16
+
+// sysSendmmsg is the sendmmsg trap number (the stdlib syscall table on
+// linux/amd64 predates sendmmsg; defined per-arch in udp_mmsg_*.go).
+// recvmmsg is present as syscall.SYS_RECVMMSG on both gated arches.
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// kernel-filled transfer length. syscall.Msghdr is 56 bytes on linux/amd64
+// and linux/arm64; the explicit pad reproduces the C struct's 8-byte
+// alignment, for 64 bytes per element.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	pad uint32
+}
+
+// batchSender coalesces sends on a connected UDP socket.
+type batchSender struct {
+	c  *net.UDPConn
+	rc syscall.RawConn // nil: sequential Write fallback
+
+	mu       sync.Mutex
+	sendHdrs []mmsghdr       // guarded by mu: syscall scratch, reused per batch
+	sendIovs []syscall.Iovec // guarded by mu
+}
+
+func newBatchSender(c *net.UDPConn) *batchSender {
+	s := &batchSender{c: c,
+		sendHdrs: make([]mmsghdr, udpBatchSize),
+		sendIovs: make([]syscall.Iovec, udpBatchSize)}
+	if rc, err := c.SyscallConn(); err == nil {
+		s.rc = rc
+	}
+	return s
+}
+
+// send transmits ps in order, up to udpBatchSize datagrams per sendmmsg. A
+// non-EAGAIN syscall failure is treated as loss of the whole chunk — the
+// reliable layer's retransmission covers it, same as any dropped datagram.
+func (s *batchSender) send(ps [][]byte) error {
+	if s.rc == nil {
+		for _, p := range ps {
+			if _, err := s.c.Write(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(ps) > 0 {
+		n := len(ps)
+		if n > udpBatchSize {
+			n = udpBatchSize
+		}
+		for i := 0; i < n; i++ {
+			s.sendHdrs[i] = mmsghdr{}
+			s.sendIovs[i] = syscall.Iovec{}
+			if len(ps[i]) > 0 {
+				s.sendIovs[i].Base = &ps[i][0]
+				s.sendIovs[i].SetLen(len(ps[i]))
+			}
+			s.sendHdrs[i].hdr.Iov = &s.sendIovs[i]
+			s.sendHdrs[i].hdr.Iovlen = 1
+		}
+		sent := 0
+		err := s.rc.Write(func(fd uintptr) bool {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&s.sendHdrs[0])), uintptr(n), 0, 0, 0)
+			switch {
+			case errno == syscall.EAGAIN:
+				return false
+			case errno != 0:
+				sent = n // dropped chunk; retransmission recovers
+			default:
+				sent = int(r1)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if sent <= 0 {
+			sent = n
+		}
+		ps = ps[sent:]
+	}
+	return nil
+}
+
+// batchReceiver drains a UDP socket up to udpBatchSize datagrams per
+// recvmmsg into buffers it owns and reuses: a received packet is valid only
+// until the next recv call. With capture set it also records each packet's
+// source address (the server's demux key).
+type batchReceiver struct {
+	c       *net.UDPConn
+	rc      syscall.RawConn // nil: single-datagram fallback
+	capture bool
+
+	bufs  [][]byte
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+	addrs []net.UDPAddr
+}
+
+func newBatchReceiver(c *net.UDPConn, capture bool) *batchReceiver {
+	r := &batchReceiver{c: c, capture: capture,
+		bufs:  make([][]byte, udpBatchSize),
+		hdrs:  make([]mmsghdr, udpBatchSize),
+		iovs:  make([]syscall.Iovec, udpBatchSize),
+		names: make([]syscall.RawSockaddrAny, udpBatchSize),
+		addrs: make([]net.UDPAddr, udpBatchSize)}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, MaxDatagram+1)
+	}
+	if rc, err := c.SyscallConn(); err == nil {
+		r.rc = rc
+	}
+	return r
+}
+
+// recv blocks for at least one datagram and returns how many arrived.
+func (r *batchReceiver) recvBatch() (int, error) {
+	if r.rc == nil {
+		return r.recvOne()
+	}
+	for i := 0; i < udpBatchSize; i++ {
+		r.hdrs[i] = mmsghdr{}
+		r.iovs[i] = syscall.Iovec{Base: &r.bufs[i][0]}
+		r.iovs[i].SetLen(len(r.bufs[i]))
+		r.hdrs[i].hdr.Iov = &r.iovs[i]
+		r.hdrs[i].hdr.Iovlen = 1
+		if r.capture {
+			r.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+			r.hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(r.names[i]))
+		}
+	}
+	got := 0
+	var sysErr error
+	err := r.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&r.hdrs[0])), udpBatchSize, 0, 0, 0)
+		switch {
+		case errno == syscall.EAGAIN:
+			return false
+		case errno != 0:
+			sysErr = errno
+		default:
+			got = int(r1)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sysErr != nil {
+		return 0, sysErr
+	}
+	if r.capture {
+		for i := 0; i < got; i++ {
+			rawToUDPAddr(&r.names[i], &r.addrs[i])
+		}
+	}
+	return got, nil
+}
+
+// recvOne is the fallback when the socket exposes no RawConn.
+func (r *batchReceiver) recvOne() (int, error) {
+	if r.capture {
+		n, addr, err := r.c.ReadFromUDP(r.bufs[0])
+		if err != nil {
+			return 0, err
+		}
+		r.hdrs[0].n = uint32(n)
+		r.addrs[0] = *addr
+		return 1, nil
+	}
+	n, err := r.c.Read(r.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	r.hdrs[0].n = uint32(n)
+	return 1, nil
+}
+
+// pkt returns packet i of the last recv; valid until the next recv.
+func (r *batchReceiver) pkt(i int) []byte { return r.bufs[i][:r.hdrs[i].n] }
+
+// src returns packet i's source address; valid until the next recv.
+func (r *batchReceiver) src(i int) *net.UDPAddr { return &r.addrs[i] }
+
+// rawToUDPAddr decodes a kernel sockaddr into out, reusing out's IP
+// capacity. Ports arrive big-endian; the gated platforms are little-endian,
+// so the swap is unconditional.
+func rawToUDPAddr(sa *syscall.RawSockaddrAny, out *net.UDPAddr) {
+	out.Zone = ""
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		a := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		out.IP = append(out.IP[:0], a.Addr[:]...)
+		out.Port = int(ntohs(a.Port))
+	case syscall.AF_INET6:
+		a := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		out.IP = append(out.IP[:0], a.Addr[:]...)
+		out.Port = int(ntohs(a.Port))
+		if a.Scope_id != 0 {
+			out.Zone = strconv.FormatUint(uint64(a.Scope_id), 10)
+		}
+	default:
+		out.IP = out.IP[:0]
+		out.Port = 0
+	}
+}
+
+func ntohs(v uint16) uint16 { return v<<8 | v>>8 }

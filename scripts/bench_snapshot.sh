@@ -1,20 +1,29 @@
 #!/bin/sh
 # Snapshot the wire/rmem benchmarks into a BENCH_N.json perf-trajectory file.
 #
-# Usage: scripts/bench_snapshot.sh [OUT.json] [BASELINE.json]
-#   OUT       defaults to the next free BENCH_N.json at the repo root
-#   BASELINE  optional earlier snapshot; deltas are printed when given
+# Usage: [BENCH_COUNT=N] [BENCH_TIME=T] scripts/bench_snapshot.sh [OUT.json] [BASELINE.json]
+#   OUT          defaults to the next free BENCH_N.json at the repo root
+#   BASELINE     optional earlier snapshot; deltas are printed when given
+#   BENCH_COUNT  repetitions per benchmark (default 3); the snapshot records
+#                the best of N (min for /op metrics, max for /s), which
+#                suppresses one-off scheduler/GC noise
+#   BENCH_TIME   optional -benchtime per repetition (e.g. 100ms)
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-}"
+baseline="${2:-}"
 if [ -z "$out" ]; then
     n=0
     while [ -e "BENCH_$n.json" ]; do n=$((n + 1)); done
     out="BENCH_$n.json"
 fi
 
-if [ -n "${2:-}" ]; then
-    exec go run ./cmd/edmbench -snapshot "$out" -baseline "$2"
+set -- -snapshot "$out" -count "${BENCH_COUNT:-3}"
+if [ -n "${BENCH_TIME:-}" ]; then
+    set -- "$@" -benchtime "$BENCH_TIME"
 fi
-exec go run ./cmd/edmbench -snapshot "$out"
+if [ -n "$baseline" ]; then
+    set -- "$@" -baseline "$baseline"
+fi
+exec go run ./cmd/edmbench "$@"
