@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Atomicmix flags variables that are accessed through sync/atomic in one
+// place and read or written plainly in another. Mixing the two is a data
+// race even when the plain access "only reads a counter": the race detector
+// flags it, and on weakly-ordered machines the plain read can observe torn
+// or stale values. The fix is either all-atomic access (or the typed
+// atomic.Uint64-style wrappers, which make mixing impossible) or a mutex.
+//
+// Detection is type-resolved: pass one collects every field or variable
+// whose address is taken as the first argument of a sync/atomic call; pass
+// two reports any other mention of those objects outside a sanctioned
+// atomic call. Typed wrappers (atomic.Uint64 et al.) never trip the check —
+// their plain method calls are not address-of arguments.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid mixing sync/atomic access with plain reads/writes of the same variable",
+	Run:  runAtomicmix,
+}
+
+// atomicSpan is a source range sanctioned for mentions of an atomic
+// variable.
+type atomicSpan struct{ from, to token.Pos }
+
+func runAtomicmix(p *Package, _ *Directives) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	// Pass one: objects passed by address into sync/atomic functions, with
+	// the first atomic site for the diagnostic, and the sanctioned spans.
+	atomicObjs := make(map[*types.Var]token.Position)
+	var spans []atomicSpan
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.objectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			ue, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			v := addressedVar(p, ue.X)
+			if v == nil {
+				return true
+			}
+			if _, seen := atomicObjs[v]; !seen {
+				atomicObjs[v] = p.Fset.Position(call.Pos())
+			}
+			spans = append(spans, atomicSpan{from: ue.Pos(), to: ue.End()})
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	sanctioned := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.from && pos < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass two: any other mention of those objects is a plain access.
+	var out []Finding
+	for _, f := range p.Files {
+		consumed := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				consumed[x.Sel] = true
+				if v, ok := p.selObj(x).(*types.Var); ok {
+					if site, hot := atomicObjs[v]; hot && !sanctioned(x.Pos()) {
+						out = append(out, plainAccess(p, x.Pos(), v, site))
+					}
+				}
+			case *ast.Ident:
+				if consumed[x] {
+					return true
+				}
+				// Uses only: the declaration itself is not an access.
+				if p.Info == nil || p.Info.Uses[x] == nil {
+					return true
+				}
+				if v, ok := p.Info.Uses[x].(*types.Var); ok {
+					if site, hot := atomicObjs[v]; hot && !sanctioned(x.Pos()) {
+						out = append(out, plainAccess(p, x.Pos(), v, site))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// addressedVar resolves the operand of an address-of expression to the
+// field or variable it denotes.
+func addressedVar(p *Package, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		v, _ := p.selObj(x).(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := p.objectOf(x).(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return addressedVar(p, x.X)
+	case *ast.ParenExpr:
+		return addressedVar(p, x.X)
+	}
+	return nil
+}
+
+func plainAccess(p *Package, pos token.Pos, v *types.Var, site token.Position) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Analyzer: "atomicmix",
+		Message: fmt.Sprintf("%s is read or written plainly here but accessed via sync/atomic at %s:%d; use atomic ops (or a typed atomic wrapper) everywhere",
+			v.Name(), filepath.Base(site.Filename), site.Line)}
+}

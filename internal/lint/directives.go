@@ -11,6 +11,7 @@ import (
 //
 //	//edmlint:allow <check>[,<check>...] <reason>
 //	//edmlint:hotpath [note]
+//	//edmlint:owned callback [note]
 //
 // An allow directive suppresses findings of the named checks, and its scope
 // depends on where it sits:
@@ -23,6 +24,11 @@ import (
 // The reason is mandatory — an allow without one is itself a finding, as is
 // an allow naming an unknown check. //edmlint:hotpath marks the function
 // whose doc comment carries it as a hot path for the hotpath analyzer.
+// //edmlint:owned callback sits in a type declaration's doc comment (values
+// of that type are callback-scoped: pooled messages, call records) or a
+// function declaration's doc comment (function literals passed to it
+// receive callback-scoped arguments); pooledescape enforces both, module
+// wide (typecheck.go registers the annotations during loading).
 const directivePrefix = "edmlint:"
 
 // declSpan is the line range one declaration-scoped allow covers.
@@ -75,16 +81,26 @@ func parseDirectives(p *Package) *Directives {
 		// directive in a doc comment scopes to the declaration.
 		docOf := make(map[*ast.CommentGroup]ast.Decl)
 		hotOwner := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		ownedOK := make(map[*ast.CommentGroup]bool)
 		for _, decl := range f.Decls {
 			switch dd := decl.(type) {
 			case *ast.FuncDecl:
 				if dd.Doc != nil {
 					docOf[dd.Doc] = dd
 					hotOwner[dd.Doc] = dd
+					ownedOK[dd.Doc] = true
 				}
 			case *ast.GenDecl:
 				if dd.Doc != nil {
 					docOf[dd.Doc] = dd
+					ownedOK[dd.Doc] = dd.Tok == token.TYPE
+				}
+				if dd.Tok == token.TYPE {
+					for _, spec := range dd.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok && ts.Doc != nil {
+							ownedOK[ts.Doc] = true
+						}
+					}
 				}
 			}
 		}
@@ -105,6 +121,19 @@ func parseDirectives(p *Package) *Directives {
 						continue
 					}
 					d.hot[fn] = true
+				case "owned":
+					// Semantics live in the typed loader (typecheck.go);
+					// here the placement and scope word are validated.
+					scope, _ := splitWord(rest)
+					if scope != ownedScopeCallback {
+						d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+							Message: fmt.Sprintf("//edmlint:owned scope must be %q", ownedScopeCallback)})
+						continue
+					}
+					if !ownedOK[group] {
+						d.Bad = append(d.Bad, Finding{Pos: pos, Analyzer: "directive",
+							Message: "//edmlint:owned must sit in a type or function declaration's doc comment"})
+					}
 				case "allow":
 					checkList, reason := splitWord(rest)
 					if checkList == "" {

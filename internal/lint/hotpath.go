@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // perCallTimers are the time functions that allocate a runtime timer per
@@ -66,6 +67,16 @@ func runHotpath(p *Package, d *Directives) []Finding {
 	return out
 }
 
+// isRegistryLookup resolves a method call to the telemetry registry's
+// string-keyed lookups through the type information, so a renamed import or
+// a registry reached through a field chain is still caught, and an
+// unrelated type's Counter method is not.
+func isRegistryLookup(p *Package, sel *ast.SelectorExpr) bool {
+	fn, ok := p.selObj(sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == telemetryPath &&
+		registryLookups[fn.Name()]
+}
+
 // span is a position range, used to mark return statements so error
 // formatting on the way out is not flagged.
 type span struct{ from, to token.Pos }
@@ -109,21 +120,37 @@ func checkHot(p *Package, fn *ast.FuncDecl, fmtName, timeName string, hasTelemet
 			if isSel {
 				// Registry lookups hash a metric name behind a mutex on
 				// every call; the receiver can be any expression (a field
-				// chain, a package-level registry), so match on the method
-				// name and arity once the file imports the telemetry
-				// package. Atomic updates on held metric pointers (Inc,
-				// Add, Observe, Set) stay unflagged.
-				if hasTelemetry && registryLookups[sel.Sel.Name] && len(node.Args) == 1 {
+				// chain, a package-level registry). With type information
+				// the method is resolved to the telemetry package exactly;
+				// without it, match on name and arity once the file imports
+				// the telemetry package. Atomic updates on held metric
+				// pointers (Inc, Add, Observe, Set) stay unflagged.
+				registryHit := registryLookups[sel.Sel.Name] && len(node.Args) == 1
+				if p.Info != nil {
+					registryHit = registryHit && isRegistryLookup(p, sel)
+				} else {
+					registryHit = registryHit && hasTelemetry
+				}
+				if registryHit {
 					out = append(out, finding(node.Pos(),
 						"telemetry registry lookup %s(name) per op; register once and hold the metric pointer", sel.Sel.Name))
 				}
-				if id, ok := sel.X.(*ast.Ident); ok {
-					if fmtName != "" && id.Name == fmtName && !inReturn(node.Pos()) {
-						out = append(out, finding(node.Pos(), "fmt.%s allocates per op", sel.Sel.Name))
-					}
-					if timeName != "" && id.Name == timeName && perCallTimers[sel.Sel.Name] {
-						out = append(out, finding(node.Pos(), "time.%s allocates a timer per op", sel.Sel.Name))
-					}
+				// fmt and time resolve through the import binding when types
+				// are available (robust to renamed imports and shadowing),
+				// by local import name otherwise.
+				isFmt, isTime := false, false
+				if p.Info != nil {
+					isFmt = p.isPkgIdent(sel.X, "fmt")
+					isTime = p.isPkgIdent(sel.X, "time")
+				} else if id, ok := sel.X.(*ast.Ident); ok {
+					isFmt = fmtName != "" && id.Name == fmtName
+					isTime = timeName != "" && id.Name == timeName
+				}
+				if isFmt && !inReturn(node.Pos()) {
+					out = append(out, finding(node.Pos(), "fmt.%s allocates per op", sel.Sel.Name))
+				}
+				if isTime && perCallTimers[sel.Sel.Name] {
+					out = append(out, finding(node.Pos(), "time.%s allocates a timer per op", sel.Sel.Name))
 				}
 				return true
 			}

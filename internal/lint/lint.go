@@ -8,18 +8,30 @@
 //   - globalrand: randomness must come from named workload.Partition
 //     streams, never the process-global math/rand source.
 //   - lockcheck: struct fields annotated `// guarded by <mu>` are only
-//     accessed in functions that lock <mu> (flow-insensitive).
+//     accessed in functions that lock <mu> (flow-insensitive), with
+//     receivers and selector chains resolved through go/types.
 //   - hotpath: functions annotated //edmlint:hotpath stay free of known
 //     allocation/syscall-per-op patterns.
+//   - pooledescape: values of types (or arguments of callbacks) annotated
+//     //edmlint:owned callback must not outlive their callback — no stores
+//     into fields, globals, channels, or goroutine closures without a copy.
+//   - lockorder: the per-package lock-acquisition graph stays acyclic, and
+//     nested same-class (shard) locks are provably ascending.
+//   - atomicmix: a variable accessed through sync/atomic anywhere is never
+//     read or written plainly elsewhere.
 //
-// The suite is stdlib-only (go/parser + go/ast), matching the module's bare
-// go.mod. Findings are suppressed with `//edmlint:allow <check> <reason>`
+// The suite is stdlib-only, matching the module's bare go.mod: parsing is
+// go/parser + go/ast, and type resolution is go/types with the source
+// importer (typecheck.go) — module-internal imports are typechecked from
+// the module's own source, the standard library from GOROOT source.
+// Findings are suppressed with `//edmlint:allow <check> <reason>`
 // directives (see directives.go); cmd/edmlint is the driver.
 package lint
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -33,6 +45,58 @@ type Package struct {
 	Path  string
 	Fset  *token.FileSet
 	Files []*ast.File
+
+	// Typed layer, filled by LoadPackages. Nil on hand-built packages;
+	// type-resolved analyzers stand down without it.
+	Types *types.Package
+	Info  *types.Info
+	World *World
+	// TypeErrors collects soft type errors: analysis proceeds on whatever
+	// information the checker recovered.
+	TypeErrors []error
+}
+
+// typeOf is a nil-safe Info.TypeOf.
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// objectOf resolves an identifier to its object (definition or use).
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// selObj resolves a selector to the object it selects: the struct field or
+// method for real selections, the package-level object for qualified
+// identifiers.
+func (p *Package) selObj(sel *ast.SelectorExpr) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if s, ok := p.Info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return p.Info.Uses[sel.Sel]
+}
+
+// isPkgIdent reports whether e is an identifier bound to the import of
+// path, regardless of the local import name.
+func (p *Package) isPkgIdent(e ast.Expr, path string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.objectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
 }
 
 // deterministic reports whether the package is held to the virtual-clock /
@@ -62,7 +126,8 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Walltime, Globalrand, Lockcheck, Hotpath}
+	return []*Analyzer{Walltime, Globalrand, Lockcheck, Hotpath,
+		Pooledescape, Lockorder, Atomicmix}
 }
 
 // analyzerNames is the set of valid names an allow directive may target.

@@ -82,10 +82,42 @@ func checkFixture(t *testing.T, fixture string, a *Analyzer) {
 	}
 }
 
-func TestWalltimeFixture(t *testing.T)   { checkFixture(t, "walltime", Walltime) }
-func TestGlobalrandFixture(t *testing.T) { checkFixture(t, "globalrand", Globalrand) }
-func TestLockcheckFixture(t *testing.T)  { checkFixture(t, "lockcheck", Lockcheck) }
-func TestHotpathFixture(t *testing.T)    { checkFixture(t, "hotpath", Hotpath) }
+func TestWalltimeFixture(t *testing.T)     { checkFixture(t, "walltime", Walltime) }
+func TestGlobalrandFixture(t *testing.T)   { checkFixture(t, "globalrand", Globalrand) }
+func TestLockcheckFixture(t *testing.T)    { checkFixture(t, "lockcheck", Lockcheck) }
+func TestHotpathFixture(t *testing.T)      { checkFixture(t, "hotpath", Hotpath) }
+func TestPooledescapeFixture(t *testing.T) { checkFixture(t, "pooledescape", Pooledescape) }
+func TestLockorderFixture(t *testing.T)    { checkFixture(t, "lockorder", Lockorder) }
+func TestAtomicmixFixture(t *testing.T)    { checkFixture(t, "atomicmix", Atomicmix) }
+
+// TestLockcheckTypedFixture pins the false negatives the typed rewrite
+// closed: a same-named mutex on another struct no longer satisfies a
+// guard, and chained selectors resolve to the right annotation.
+func TestLockcheckTypedFixture(t *testing.T) { checkFixture(t, "lockcheck_typed", Lockcheck) }
+
+// TestPooledescapeAcrossPackages proves the //edmlint:owned annotation on
+// the production wire.Msg type is seen by a fixture package that merely
+// imports it — ownership is a property of the loaded World, not of the
+// package under analysis.
+func TestPooledescapeAcrossPackages(t *testing.T) {
+	checkFixture(t, "pooledescape_wire", Pooledescape)
+}
+
+// TestTypedLoaderResolvesImports spot-checks the World: the fixture package
+// typechecks with real type information for both stdlib and module-internal
+// imports, with no hard errors.
+func TestTypedLoaderResolvesImports(t *testing.T) {
+	p := loadFixture(t, "pooledescape_wire")
+	if p.Types == nil || p.Info == nil {
+		t.Fatal("typed layer missing after LoadPackages")
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("unexpected type errors: %v", p.TypeErrors)
+	}
+	if !p.World.hasOwned() {
+		t.Fatal("owned annotations from repro/internal/wire were not registered")
+	}
+}
 
 // TestWalltimeSkipsCmdPackages rebinds the walltime fixture under cmd/ and
 // expects the analyzer to stand down entirely.

@@ -3,8 +3,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -112,27 +110,24 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// LoadPackages parses every .go file (tests included) in each directory and
-// groups them by package clause, so a directory with an external _test
-// package yields two Packages. Comments are kept: directives live there.
+// LoadPackages parses every buildable .go file (tests included) in each
+// directory and groups them by package clause, so a directory with an
+// external _test package yields two Packages. Comments are kept: directives
+// live there. Each group is then typechecked through one shared World
+// (go/types + source importer), tolerantly: soft type errors land in
+// Package.TypeErrors rather than failing the load. Files excluded by build
+// constraints on the current platform are skipped, matching go vet.
 func LoadPackages(mod *Module, dirs []string) ([]*Package, error) {
+	w := NewWorld(mod)
 	var pkgs []*Package
 	for _, dir := range dirs {
-		entries, err := os.ReadDir(dir)
+		files, err := w.parseDir(dir, true)
 		if err != nil {
 			return nil, err
 		}
-		fset := token.NewFileSet()
 		byName := make(map[string][]*ast.File)
 		var names []string
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
-				continue
-			}
-			file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
+		for _, file := range files {
 			name := file.Name.Name
 			if byName[name] == nil {
 				names = append(names, name)
@@ -145,11 +140,23 @@ func LoadPackages(mod *Module, dirs []string) ([]*Package, error) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
+			// External test packages typecheck under path_test (go list's
+			// ImportPath for them); Package.Path keeps the directory's
+			// import path so package-level gating is unchanged.
+			checkPath := importPath
+			if strings.HasSuffix(name, "_test") {
+				checkPath = importPath + "_test"
+			}
+			tpkg, info, terrs := w.typeCheck(checkPath, byName[name])
 			pkgs = append(pkgs, &Package{
 				ModulePath: mod.Path,
 				Path:       importPath,
-				Fset:       fset,
+				Fset:       w.fset,
 				Files:      byName[name],
+				Types:      tpkg,
+				Info:       info,
+				World:      w,
+				TypeErrors: terrs,
 			})
 		}
 	}

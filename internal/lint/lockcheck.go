@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 	"regexp"
 	"strings"
 )
@@ -32,17 +33,34 @@ const lockedSuffix = "Locked"
 // take the lock", not "is it held at this statement" — which is cheap,
 // stdlib-only, and catches the real bug class: a new accessor that forgot
 // the mutex entirely.
+//
+// Field accesses resolve through go/types, so two structs with same-named
+// fields never shadow each other's guards, and chained selectors
+// (o.inner.n) reach the right annotation. When the named guard is a
+// sibling field of the same struct, the lock requirement is type-resolved
+// too: locking a same-named mutex on a different struct does not count.
+// Annotations whose guard lives elsewhere (`guarded by mu (the server's)`)
+// fall back to matching the lock by name.
 var Lockcheck = &Analyzer{
 	Name: "lockcheck",
 	Doc:  "verify accesses to `guarded by` fields happen under their lock",
 	Run:  runLockcheck,
 }
 
+// guardSpec is one annotated field's contract.
+type guardSpec struct {
+	mu    string          // guard name as written
+	muObj types.Object    // sibling mutex field, nil when the guard lives elsewhere
+	owner *types.TypeName // the struct that declares the field
+}
+
 func runLockcheck(p *Package, _ *Directives) []Finding {
-	// Pass 1: collect annotations across the package.
-	structGuards := make(map[string]map[string]string) // struct -> field -> mu
-	fieldMus := make(map[string]map[string]bool)       // field -> set of mus
-	fieldOwners := make(map[string]map[string]bool)    // field -> set of structs
+	if p.Info == nil {
+		return nil
+	}
+	// Pass 1: collect annotations across the package, keyed by the guarded
+	// field's object identity.
+	guards := make(map[types.Object]*guardSpec)
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -53,41 +71,35 @@ func runLockcheck(p *Package, _ *Directives) []Finding {
 			if !ok {
 				return true
 			}
+			owner, _ := p.objectOf(ts.Name).(*types.TypeName)
 			for _, field := range st.Fields.List {
 				mu := guardName(field)
 				if mu == "" {
 					continue
 				}
+				muObj := structFieldObj(p, st, mu)
 				for _, name := range field.Names {
-					if structGuards[ts.Name.Name] == nil {
-						structGuards[ts.Name.Name] = make(map[string]string)
+					if obj := p.objectOf(name); obj != nil {
+						guards[obj] = &guardSpec{mu: mu, muObj: muObj, owner: owner}
 					}
-					structGuards[ts.Name.Name][name.Name] = mu
-					if fieldMus[name.Name] == nil {
-						fieldMus[name.Name] = make(map[string]bool)
-						fieldOwners[name.Name] = make(map[string]bool)
-					}
-					fieldMus[name.Name][mu] = true
-					fieldOwners[name.Name][ts.Name.Name] = true
 				}
 			}
 			return true
 		})
 	}
-	if len(fieldMus) == 0 {
+	if len(guards) == 0 {
 		return nil
 	}
 
 	// Pass 2: check every function's accesses.
 	var out []Finding
 	for _, f := range p.Files {
-		pkgNames := importNames(f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			out = append(out, checkFunc(p, fn, pkgNames, structGuards, fieldMus, fieldOwners)...)
+			out = append(out, checkFunc(p, fn, guards)...)
 		}
 	}
 	return out
@@ -106,32 +118,51 @@ func guardName(field *ast.Field) string {
 	return ""
 }
 
-// recvInfo extracts a method's receiver name and base type name.
-func recvInfo(fn *ast.FuncDecl) (name, typ string) {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return "", ""
+// structFieldObj finds the object of the struct's own field named name.
+func structFieldObj(p *Package, st *ast.StructType, name string) types.Object {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return p.objectOf(id)
+			}
+		}
 	}
-	r := fn.Recv.List[0]
-	if len(r.Names) > 0 {
-		name = r.Names[0].Name
-	}
-	t := r.Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[K]
-		t = idx.X
-	}
-	if id, ok := t.(*ast.Ident); ok {
-		typ = id.Name
-	}
-	return name, typ
+	return nil
 }
 
-// locksTaken collects the final names of mutexes the function body locks
-// (c.mu.Lock() and mu.RLock() both record "mu"), including inside closures.
-func locksTaken(body ast.Node) map[string]bool {
-	locks := make(map[string]bool)
+// recvTypeName resolves a method's receiver to its type name object.
+func recvTypeName(p *Package, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[K]
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		default:
+			id, ok := t.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			tn, _ := p.objectOf(id).(*types.TypeName)
+			return tn
+		}
+	}
+}
+
+// locksTaken collects the mutexes the function body locks — by object
+// identity where the receiver resolves to a field or variable, and by final
+// name as a fallback for annotations whose guard lives on another struct.
+// Closures count: a goroutine body locking the mutex is this function
+// taking it.
+func locksTaken(p *Package, body ast.Node) (objs map[types.Object]bool, names map[string]bool) {
+	objs = make(map[types.Object]bool)
+	names = make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -143,25 +174,27 @@ func locksTaken(body ast.Node) map[string]bool {
 		}
 		switch x := sel.X.(type) {
 		case *ast.Ident:
-			locks[x.Name] = true
+			names[x.Name] = true
+			if obj := p.objectOf(x); obj != nil {
+				objs[obj] = true
+			}
 		case *ast.SelectorExpr:
-			locks[x.Sel.Name] = true
+			names[x.Sel.Name] = true
+			if obj := p.selObj(x); obj != nil {
+				objs[obj] = true
+			}
 		}
 		return true
 	})
-	return locks
+	return objs, names
 }
 
-func checkFunc(p *Package, fn *ast.FuncDecl, pkgNames map[string]bool,
-	structGuards map[string]map[string]string,
-	fieldMus map[string]map[string]bool,
-	fieldOwners map[string]map[string]bool) []Finding {
-
+func checkFunc(p *Package, fn *ast.FuncDecl, guards map[types.Object]*guardSpec) []Finding {
 	if strings.HasSuffix(fn.Name.Name, lockedSuffix) {
 		return nil // contract: the caller holds the lock
 	}
-	recvName, recvType := recvInfo(fn)
-	locks := locksTaken(fn.Body)
+	recvType := recvTypeName(p, fn)
+	lockObjs, lockNames := locksTaken(p, fn.Body)
 
 	var out []Finding
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -169,30 +202,18 @@ func checkFunc(p *Package, fn *ast.FuncDecl, pkgNames map[string]bool,
 		if !ok {
 			return true
 		}
-		field := sel.Sel.Name
-		id, isIdent := sel.X.(*ast.Ident)
-		if isIdent && pkgNames[id.Name] {
-			return true // package-qualified selector, not a field access
-		}
-
-		var mus map[string]bool
-		var owners map[string]bool
-		switch {
-		case isIdent && recvName != "" && id.Name == recvName && structGuards[recvType][field] != "":
-			mu := structGuards[recvType][field]
-			mus = map[string]bool{mu: true}
-			owners = map[string]bool{recvType: true}
-		case isIdent && fieldMus[field] != nil:
-			// Name-based fallback: the base is some other identifier, so
-			// treat any annotated field of this name as a match.
-			mus = fieldMus[field]
-			owners = fieldOwners[field]
-		default:
+		obj := p.selObj(sel)
+		if obj == nil {
 			return true
 		}
+		gs, ok := guards[obj]
+		if !ok {
+			return true
+		}
+		field := sel.Sel.Name
 
-		if mus[guardCaller] {
-			if owners[recvType] {
+		if gs.mu == guardCaller {
+			if recvType != nil && recvType == gs.owner {
 				return true
 			}
 			out = append(out, Finding{
@@ -203,27 +224,23 @@ func checkFunc(p *Package, fn *ast.FuncDecl, pkgNames map[string]bool,
 			})
 			return true
 		}
-		for mu := range mus {
-			if locks[mu] {
-				return true
-			}
+
+		held := false
+		if gs.muObj != nil {
+			held = lockObjs[gs.muObj]
+		} else {
+			held = lockNames[gs.mu]
 		}
-		mu := oneKey(mus)
+		if held {
+			return true
+		}
 		out = append(out, Finding{
 			Pos:      p.Fset.Position(sel.Pos()),
 			Analyzer: "lockcheck",
 			Message: fmt.Sprintf("field %s is guarded by %s but %s never locks %s",
-				field, mu, fn.Name.Name, mu),
+				field, gs.mu, fn.Name.Name, gs.mu),
 		})
 		return true
 	})
 	return out
-}
-
-// oneKey returns some key of a non-empty set (for messages).
-func oneKey(set map[string]bool) string {
-	for k := range set {
-		return k
-	}
-	return ""
 }

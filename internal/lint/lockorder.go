@@ -1,0 +1,389 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// Lockorder builds a per-package lock-acquisition graph from sync.Mutex /
+// sync.RWMutex usage and enforces two rules:
+//
+//   - The graph stays acyclic: if one function acquires B while holding A,
+//     no function may acquire A while holding B (the classic AB/BA
+//     deadlock). Lock classes are struct mutex fields (one class per field
+//     declaration, so every shard of rmem.Server's shards array is one
+//     class) and package-level or local mutex variables.
+//   - Nested acquisitions of the same class must be provably ascending:
+//     holding shards[i] while locking shards[j] is only clean when the two
+//     index expressions share a base and the second is a larger constant
+//     offset (i then i+1). Descending or unprovable orders are findings —
+//     rmem.Server's piecewise walk (lock, op, unlock, advance) never holds
+//     two shard locks and stays clean by construction.
+//
+// Tracking is intra-procedural and source-ordered: Lock pushes the class,
+// Unlock pops it, deferred Unlocks hold to function end, and function
+// literals are analyzed as their own units (their locks do not interleave
+// with the enclosing function's linear order).
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag cyclic lock orderings and non-ascending same-class (shard) lock nesting",
+	Run:  runLockorder,
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+)
+
+// lockEvent is one Lock/Unlock call in source order.
+type lockEvent struct {
+	kind  int
+	class types.Object // mutex field or variable identity
+	name  string       // display name ("shard.mu", "mu")
+	index ast.Expr     // index expression nearest the mutex, nil if none
+	pos   token.Pos
+}
+
+// lockEdge is "to acquired while from is held".
+type lockEdge struct{ from, to types.Object }
+
+// edgeSite remembers where an edge was first observed.
+type edgeSite struct {
+	pos      token.Position
+	fn       string
+	from, to string
+}
+
+func runLockorder(p *Package, _ *Directives) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	edges := make(map[lockEdge]edgeSite)
+	var edgeOrder []lockEdge
+	var out []Finding
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			units := []ast.Node{fn.Body}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					units = append(units, lit.Body)
+				}
+				return true
+			})
+			for i, unit := range units {
+				name := fn.Name.Name
+				if i > 0 {
+					name = "a closure in " + name
+				}
+				events := collectLockEvents(p, unit)
+				out = append(out, processLockEvents(p, name, events, edges, &edgeOrder)...)
+			}
+		}
+	}
+
+	// Cycle pass: an edge participating in a cycle (its target can reach
+	// its source) is an ordering violation.
+	adj := make(map[types.Object][]types.Object)
+	for _, e := range edgeOrder {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edgeOrder {
+		if e.from == e.to || !lockReachable(adj, e.to, e.from) {
+			continue
+		}
+		site := edges[e]
+		msg := fmt.Sprintf("%s acquired while %s is held, but elsewhere the order reverses (lock-order cycle)",
+			site.to, site.from)
+		if rev, ok := edges[lockEdge{from: e.to, to: e.from}]; ok {
+			msg = fmt.Sprintf("%s acquired while %s is held here, but %s acquires them in the opposite order (lock-order cycle)",
+				site.to, site.from, rev.fn)
+		}
+		out = append(out, Finding{Pos: site.pos, Analyzer: "lockorder", Message: msg})
+	}
+	return out
+}
+
+// collectLockEvents gathers Lock/RLock/Unlock/RUnlock calls in source
+// order, treating deferred unlocks as held-to-end and skipping function
+// literals (they are separate units).
+func collectLockEvents(p *Package, unit ast.Node) []lockEvent {
+	var events []lockEvent
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(unit, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x.Body != unit {
+				return false
+			}
+		case *ast.DeferStmt:
+			if ev, ok := lockCallEvent(p, x.Call); ok && ev.kind == evUnlock {
+				ev.kind = evDeferUnlock
+				events = append(events, ev)
+				deferred[x.Call] = true
+			}
+		case *ast.CallExpr:
+			if deferred[x] {
+				return true
+			}
+			if ev, ok := lockCallEvent(p, x); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// lockCallEvent classifies a call as a mutex acquisition or release and
+// resolves its lock class through the type information.
+func lockCallEvent(p *Package, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = evLock
+	case "Unlock", "RUnlock":
+		kind = evUnlock
+	default:
+		return lockEvent{}, false
+	}
+	fn, ok := p.objectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	class, name, idx := lockClassOf(p, sel.X)
+	if class == nil {
+		return lockEvent{}, false
+	}
+	return lockEvent{kind: kind, class: class, name: name, index: idx, pos: call.Pos()}, true
+}
+
+// lockClassOf maps a mutex expression to its class: the struct field object
+// for selector chains (s.shards[i].mu → the shard.mu field), the variable
+// object for plain identifiers. The nearest index expression in the chain
+// is kept for same-class ascending-order proofs.
+func lockClassOf(p *Package, x ast.Expr) (types.Object, string, ast.Expr) {
+	idx := innerIndex(x)
+	base := x
+strip:
+	for {
+		switch t := base.(type) {
+		case *ast.ParenExpr:
+			base = t.X
+		case *ast.IndexExpr:
+			base = t.X
+		case *ast.StarExpr:
+			base = t.X
+		default:
+			break strip
+		}
+	}
+	switch e := base.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := p.selObj(e).(*types.Var); ok {
+			name := e.Sel.Name
+			if bt := p.typeOf(e.X); bt != nil {
+				if named := derefNamed(bt); named != nil {
+					name = named.Obj().Name() + "." + name
+				}
+			}
+			return v, name, idx
+		}
+	case *ast.Ident:
+		if v, ok := p.objectOf(e).(*types.Var); ok {
+			return v, e.Name, idx
+		}
+	}
+	return nil, "", nil
+}
+
+// innerIndex returns the index expression nearest the mutex in a receiver
+// chain (s.shards[i].mu → i), or nil.
+func innerIndex(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			return t.Index
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			if t.Op != token.AND {
+				return nil
+			}
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derefNamed unwraps pointers and aliases to the named type, if any.
+func derefNamed(t types.Type) *types.Named {
+	for {
+		t = types.Unalias(t)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		named, _ := t.(*types.Named)
+		return named
+	}
+}
+
+// processLockEvents replays one unit's events against a held-lock list,
+// emitting same-class ordering findings and recording cross-class edges.
+func processLockEvents(p *Package, fnName string, events []lockEvent,
+	edges map[lockEdge]edgeSite, edgeOrder *[]lockEdge) []Finding {
+
+	var out []Finding
+	var held []lockEvent
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			for _, h := range held {
+				if h.class == ev.class {
+					if f, bad := checkSameClass(p, h, ev); bad {
+						out = append(out, f)
+					}
+					continue
+				}
+				e := lockEdge{from: h.class, to: ev.class}
+				if _, ok := edges[e]; !ok {
+					edges[e] = edgeSite{pos: p.Fset.Position(ev.pos), fn: fnName,
+						from: h.name, to: ev.name}
+					*edgeOrder = append(*edgeOrder, e)
+				}
+			}
+			held = append(held, ev)
+		case evUnlock:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].class == ev.class {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case evDeferUnlock:
+			// Held to function end: nothing to pop.
+		}
+	}
+	return out
+}
+
+// checkSameClass judges a nested same-class acquisition: clean only when
+// both index expressions share a base and the new index is strictly larger
+// (the ascending-shard discipline).
+func checkSameClass(p *Package, h, ev lockEvent) (Finding, bool) {
+	hb, hd, hok := indexKey(h.index)
+	nb, nd, nok := indexKey(ev.index)
+	if hok && nok && hb == nb {
+		if nd > hd {
+			return Finding{}, false
+		}
+		return Finding{Pos: p.Fset.Position(ev.pos), Analyzer: "lockorder",
+			Message: fmt.Sprintf("%s locked at index %s while the same lock class is held at index %s; shard locks must be acquired in ascending order",
+				ev.name, indexStr(ev.index), indexStr(h.index))}, true
+	}
+	return Finding{Pos: p.Fset.Position(ev.pos), Analyzer: "lockorder",
+		Message: fmt.Sprintf("%s acquired while another %s is held and ascending order cannot be proven; restructure to piecewise locking or annotate",
+			ev.name, h.name)}, true
+}
+
+// indexKey canonicalizes an index expression to (base, constant offset):
+// i → ("i", 0), i+1 → ("i", 1), 3 → ("", 3). Two keys compare only when
+// their bases match.
+func indexKey(e ast.Expr) (base string, delta int64, ok bool) {
+	switch x := e.(type) {
+	case nil:
+		return "", 0, false
+	case *ast.BasicLit:
+		if x.Kind != token.INT {
+			return "", 0, false
+		}
+		v, err := strconv.ParseInt(x.Value, 0, 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return "", v, true
+	case *ast.ParenExpr:
+		return indexKey(x.X)
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return "", 0, false
+		}
+		if lit, okLit := x.Y.(*ast.BasicLit); okLit && lit.Kind == token.INT {
+			v, err := strconv.ParseInt(lit.Value, 0, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			if x.Op == token.SUB {
+				v = -v
+			}
+			return types.ExprString(x.X), v, true
+		}
+		if lit, okLit := x.X.(*ast.BasicLit); okLit && lit.Kind == token.INT && x.Op == token.ADD {
+			v, err := strconv.ParseInt(lit.Value, 0, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return types.ExprString(x.Y), v, true
+		}
+		return "", 0, false
+	default:
+		return types.ExprString(e), 0, true
+	}
+}
+
+func indexStr(e ast.Expr) string {
+	if e == nil {
+		return "?"
+	}
+	return types.ExprString(e)
+}
+
+// lockReachable reports whether to is reachable from from in the edge
+// graph.
+func lockReachable(adj map[types.Object][]types.Object, from, to types.Object) bool {
+	seen := make(map[types.Object]bool)
+	stack := []types.Object{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+// sortFindings orders findings deterministically (used by tests).
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

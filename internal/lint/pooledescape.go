@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pooledescape enforces the callback-scoped ownership contract behind the
+// allocation-free hot path: pooled wire.Msg structs, response byte slices,
+// and completion records are valid only for the duration of the callback
+// that received them, then return to their pool. A value is callback-scoped
+// when its type is annotated //edmlint:owned callback, or when it arrives
+// as an argument of a function literal passed to an //edmlint:owned
+// function. Such values (and anything reached through them that can alias
+// pooled memory) must not be stored into struct fields, package-level
+// variables, channels, or goroutine closures — retention requires an
+// explicit copy (Msg.Clone, append into a caller-owned buffer).
+//
+// The analysis is per-function and value-based: ownership seeds at
+// parameters and receivers and propagates through local assignments,
+// selectors, index/slice expressions, and append-to-owned. Call results are
+// never owned — which is exactly what makes Clone and element-copying
+// append the sanctioned boundaries. Passing an owned value as an ordinary
+// call argument is not flagged (synchronous callees are fine); spawning a
+// goroutine with one is.
+var Pooledescape = &Analyzer{
+	Name: "pooledescape",
+	Doc:  "forbid //edmlint:owned callback-scoped values escaping their callback",
+	Run:  runPooledescape,
+}
+
+func runPooledescape(p *Package, _ *Directives) []Finding {
+	if p.Info == nil || p.World == nil || !p.World.hasOwned() {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ec := &escaper{p: p, w: p.World, owned: make(map[types.Object]bool)}
+			ec.seed(fn)
+			if len(ec.owned) > 0 {
+				ec.propagate(fn.Body)
+				ec.checkSinks(fn.Body)
+			}
+			out = append(out, ec.out...)
+		}
+	}
+	return out
+}
+
+// escaper tracks which objects hold callback-scoped values inside one
+// top-level function (closures included: objects are unique, so one map
+// covers all nesting).
+type escaper struct {
+	p     *Package
+	w     *World
+	owned map[types.Object]bool
+	out   []Finding
+}
+
+// seed marks the ownership sources: parameters and receivers of owned
+// types, closure parameters of owned types, and every aliasing parameter of
+// a function literal passed to an //edmlint:owned function.
+func (ec *escaper) seed(fn *ast.FuncDecl) {
+	ec.seedOwnedTyped(fn.Recv)
+	ec.seedOwnedTyped(fn.Type.Params)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ec.seedOwnedTyped(x.Type.Params)
+		case *ast.CallExpr:
+			if ec.ownedCallee(x) {
+				for _, arg := range x.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						ec.seedCallbackParams(lit.Type.Params)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ec *escaper) seedOwnedTyped(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := ec.p.objectOf(name); obj != nil && ec.w.OwnedType(obj.Type()) {
+				ec.owned[obj] = true
+			}
+		}
+	}
+}
+
+// seedCallbackParams marks a callback's aliasing parameters (slices,
+// pointers, maps, owned types) as callback-scoped; scalars and plain
+// interfaces like error copy safely and stay free.
+func (ec *escaper) seedCallbackParams(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			obj := ec.p.objectOf(name)
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if ec.w.OwnedType(t) {
+				ec.owned[obj] = true
+				continue
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Pointer, *types.Map:
+				ec.owned[obj] = true
+			}
+		}
+	}
+}
+
+// ownedCallee reports whether the call's target function is annotated
+// //edmlint:owned callback.
+func (ec *escaper) ownedCallee(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return ec.w.OwnedFunc(ec.p.objectOf(fun))
+	case *ast.SelectorExpr:
+		return ec.w.OwnedFunc(ec.p.selObj(fun))
+	}
+	return false
+}
+
+// propagate runs local assignments and range clauses to a fixpoint so
+// aliases of owned values are owned too.
+func (ec *escaper) propagate(body ast.Node) {
+	track := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := ec.p.objectOf(id)
+		if obj == nil || ec.owned[obj] || ec.isGlobal(obj) {
+			return false
+		}
+		if !ec.ownedExpr(rhs) {
+			return false
+		}
+		ec.owned[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i := range s.Lhs {
+					if track(s.Lhs[i], s.Rhs[i]) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) != len(s.Values) {
+					return true
+				}
+				for i, name := range s.Names {
+					if track(name, s.Values[i]) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !ec.ownedExpr(s.X) {
+					return true
+				}
+				for _, v := range []ast.Expr{s.Key, s.Value} {
+					id, ok := v.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := ec.p.objectOf(id)
+					if obj == nil || ec.owned[obj] || !aliasing(obj.Type()) {
+						continue
+					}
+					ec.owned[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ownedExpr reports whether e evaluates to a callback-scoped value. Calls
+// break the chain (Clone and friends return fresh memory); append keeps the
+// ownership of its first argument. Expressions whose type cannot alias
+// heap memory (scalars, strings) are never owned: copying them is free.
+func (ec *escaper) ownedExpr(e ast.Expr) bool {
+	if t := ec.p.typeOf(e); t != nil && !aliasing(t) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := ec.p.objectOf(x)
+		return obj != nil && ec.owned[obj]
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := ec.p.objectOf(id).(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		return ec.ownedExpr(x.X)
+	case *ast.ParenExpr:
+		return ec.ownedExpr(x.X)
+	case *ast.StarExpr:
+		return ec.ownedExpr(x.X)
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && ec.ownedExpr(x.X)
+	case *ast.IndexExpr:
+		return ec.ownedExpr(x.X)
+	case *ast.SliceExpr:
+		return ec.ownedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return ec.ownedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if ec.ownedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isBuiltinAppend(ec.p, x) && len(x.Args) > 0 {
+			return ec.ownedExpr(x.Args[0])
+		}
+		return false
+	case *ast.FuncLit:
+		return ec.capturesOwned(x) != nil
+	}
+	return false
+}
+
+// capturesOwned returns an owned object the literal captures from its
+// enclosing function, or nil.
+func (ec *escaper) capturesOwned(lit *ast.FuncLit) types.Object {
+	var captured types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ec.p.Info.Uses[id]
+		if obj != nil && ec.owned[obj] && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+			captured = obj
+		}
+		return true
+	})
+	return captured
+}
+
+// checkSinks walks the function for escape points.
+func (ec *escaper) checkSinks(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true // multi-value call results are never owned
+			}
+			for i := range s.Lhs {
+				ec.checkStore(s.Lhs[i], s.Rhs[i])
+			}
+		case *ast.SendStmt:
+			if ec.ownedExpr(s.Value) {
+				ec.report(s.Value.Pos(),
+					"callback-scoped %s sent on a channel; the receiver outlives the callback — send a copy",
+					ec.typeStr(s.Value))
+			}
+		case *ast.GoStmt:
+			ec.checkGo(s)
+		case *ast.CallExpr:
+			ec.checkAppend(s)
+		}
+		return true
+	})
+}
+
+// checkStore flags an owned right-hand side landing anywhere that outlives
+// the callback: fields and elements of non-owned values, package-level
+// variables, dereferenced pointers. Stores into owned values and plain
+// locals are fine (locals are tracked by propagate).
+func (ec *escaper) checkStore(lhs, rhs ast.Expr) {
+	if !ec.ownedExpr(rhs) {
+		return
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if obj := ec.p.objectOf(l); obj != nil && ec.isGlobal(obj) {
+			ec.report(rhs.Pos(),
+				"callback-scoped %s stored in package-level variable %s; copy it first",
+				ec.typeStr(rhs), l.Name)
+		}
+	case *ast.SelectorExpr:
+		if !ec.ownedExpr(l.X) {
+			ec.report(rhs.Pos(),
+				"callback-scoped %s stored into field %s, which outlives the callback; copy it first (Clone, or append into a caller-owned buffer)",
+				ec.typeStr(rhs), l.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if !ec.ownedExpr(l.X) {
+			ec.report(rhs.Pos(),
+				"callback-scoped %s stored into an element of a container that outlives the callback; copy it first",
+				ec.typeStr(rhs))
+		}
+	case *ast.StarExpr:
+		if !ec.ownedExpr(l.X) {
+			ec.report(rhs.Pos(),
+				"callback-scoped %s stored through a pointer that outlives the callback; copy it first",
+				ec.typeStr(rhs))
+		}
+	}
+}
+
+// checkGo flags owned values crossing into a goroutine, by argument or by
+// closure capture: the goroutine runs after the callback returns the value
+// to its pool.
+func (ec *escaper) checkGo(s *ast.GoStmt) {
+	call := s.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		if obj := ec.capturesOwned(lit); obj != nil {
+			ec.report(lit.Pos(), "goroutine closure captures callback-scoped %s; copy it before spawning", obj.Name())
+		}
+	} else if ec.ownedExpr(call.Fun) {
+		ec.report(call.Fun.Pos(), "goroutine started on callback-scoped %s", ec.typeStr(call.Fun))
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			if obj := ec.capturesOwned(lit); obj != nil {
+				ec.report(lit.Pos(), "goroutine closure captures callback-scoped %s; copy it before spawning", obj.Name())
+			}
+			continue
+		}
+		if ec.ownedExpr(arg) {
+			ec.report(arg.Pos(), "callback-scoped %s handed to a goroutine; copy it before spawning", ec.typeStr(arg))
+		}
+	}
+}
+
+// checkAppend flags owned values escaping through append into non-owned
+// slices. Spread appends copy elements, so they escape only when the
+// elements themselves alias pooled memory — append(dst[:0], m.Data...) is
+// the sanctioned copy idiom and stays clean.
+func (ec *escaper) checkAppend(call *ast.CallExpr) {
+	if !isBuiltinAppend(ec.p, call) || len(call.Args) < 2 {
+		return
+	}
+	if ec.ownedExpr(call.Args[0]) {
+		return // appending into owned storage stays in scope
+	}
+	if call.Ellipsis.IsValid() {
+		src := call.Args[1]
+		if !ec.ownedExpr(src) {
+			return
+		}
+		t := ec.p.typeOf(src)
+		if t == nil {
+			return
+		}
+		if st, ok := t.Underlying().(*types.Slice); ok && aliasing(st.Elem()) {
+			ec.report(src.Pos(),
+				"append spreads callback-scoped %s whose elements alias pooled memory; deep-copy instead",
+				ec.typeStr(src))
+		}
+		return
+	}
+	for _, el := range call.Args[1:] {
+		if ec.ownedExpr(el) {
+			ec.report(el.Pos(),
+				"callback-scoped %s appended to a slice that is not callback-scoped; copy it first",
+				ec.typeStr(el))
+		}
+	}
+}
+
+func (ec *escaper) isGlobal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && ec.p.Types != nil && v.Parent() == ec.p.Types.Scope()
+}
+
+func (ec *escaper) typeStr(e ast.Expr) string {
+	t := ec.p.typeOf(e)
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, types.RelativeTo(ec.p.Types))
+}
+
+func (ec *escaper) report(pos token.Pos, format string, args ...any) {
+	ec.out = append(ec.out, Finding{
+		Pos:      ec.p.Fset.Position(pos),
+		Analyzer: "pooledescape",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if obj := p.objectOf(id); obj != nil {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}

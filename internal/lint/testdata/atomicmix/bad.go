@@ -1,0 +1,31 @@
+package atomicmix_fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	val uint64
+}
+
+func (g *gauge) inc() {
+	atomic.AddUint64(&g.val, 1)
+}
+
+// peek reads the same field without the atomic.
+func (g *gauge) peek() uint64 {
+	return g.val // want "read or written plainly"
+}
+
+// reset writes it plainly.
+func (g *gauge) reset() {
+	g.val = 0 // want "read or written plainly"
+}
+
+var misses uint64
+
+func bumpVar() {
+	atomic.AddUint64(&misses, 1)
+}
+
+func peekVar() uint64 {
+	return misses // want "read or written plainly"
+}

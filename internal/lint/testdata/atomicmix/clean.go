@@ -1,0 +1,32 @@
+// Package atomicmix_fixture exercises the atomicmix analyzer: all-atomic
+// access and typed wrappers pass; plain-only variables are not atomics.
+package atomicmix_fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	typed atomic.Uint64
+}
+
+// bump and load agree on atomic access for hits.
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// typedOnly uses the typed wrapper: mixing is impossible by construction.
+func (c *counters) typedOnly() uint64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// plainOnly is never accessed atomically, so plain access is fine.
+var plainOnly uint64
+
+func touch() {
+	plainOnly++
+}

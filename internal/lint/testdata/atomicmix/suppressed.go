@@ -1,0 +1,18 @@
+package atomicmix_fixture
+
+import "sync/atomic"
+
+type stat struct {
+	n uint64
+}
+
+func (s *stat) add() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+// snapshot reads n plainly after all writer goroutines are joined.
+//
+//edmlint:allow atomicmix read happens after the writers are joined
+func (s *stat) snapshot() uint64 {
+	return s.n
+}

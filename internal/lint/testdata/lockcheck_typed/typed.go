@@ -1,0 +1,54 @@
+// Package lockcheck_typed_fixture exercises typed resolution in lockcheck:
+// same-named fields on different structs must not satisfy each other's
+// guards, and chained selectors must reach the right annotation. The old
+// AST-only check passed both bad cases below.
+package lockcheck_typed_fixture
+
+import "sync"
+
+type alpha struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type beta struct {
+	mu sync.Mutex
+	m  int // guarded by mu
+}
+
+// crossLock locks the wrong struct's mu: name-based matching accepted
+// this, object-identity matching does not.
+func crossLock(a *alpha, b *beta) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return a.n // want "field n is guarded by mu but crossLock never locks mu"
+}
+
+// rightLock locks the owning struct's mu.
+func rightLock(a *alpha) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+type inner struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type outer struct {
+	inner inner
+}
+
+// chained reaches the guarded field through a selector chain the AST
+// check could not resolve.
+func chained(o *outer) int {
+	return o.inner.n // want "field n is guarded by mu but chained never locks mu"
+}
+
+// chainedOK locks the chained mutex.
+func chainedOK(o *outer) int {
+	o.inner.mu.Lock()
+	defer o.inner.mu.Unlock()
+	return o.inner.n
+}

@@ -1,0 +1,39 @@
+package lockorder_fixture
+
+import "sync"
+
+// descending violates the ascending-shard discipline.
+func (t *table) descending(i int) {
+	t.shards[i].mu.Lock()
+	t.shards[i-1].mu.Lock() // want "shard locks must be acquired in ascending order"
+	t.shards[i-1].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// unprovable holds two shard locks at unrelated indices.
+func (t *table) unprovable(i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want "ascending order cannot be proven"
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+
+type d struct{ mu sync.Mutex }
+
+// forward acquires c then d.
+func forward(x *c, y *d) {
+	x.mu.Lock()
+	y.mu.Lock() // want "lock-order cycle"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// backward acquires d then c: together with forward, an AB/BA deadlock.
+func backward(x *c, y *d) {
+	y.mu.Lock()
+	x.mu.Lock() // want "lock-order cycle"
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+// Package lockorder_fixture exercises the lockorder analyzer: ascending
+// shard locking and consistent cross-class ordering pass.
+package lockorder_fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards [8]shard
+}
+
+// ascending acquires shard locks in provably ascending index order.
+func (t *table) ascending(i int) {
+	t.shards[i].mu.Lock()
+	t.shards[i+1].mu.Lock()
+	t.shards[i+1].n++
+	t.shards[i+1].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// piecewise never holds two shard locks at once.
+func (t *table) piecewise() {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		t.shards[i].n++
+		t.shards[i].mu.Unlock()
+	}
+}
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+// abOrder nests two classes in one consistent order.
+func abOrder(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// abOrderAgain repeats the same order with deferred unlocks: consistent,
+// no cycle.
+func abOrderAgain(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+// closureUnit locks inside a function literal: a separate unit, so its
+// acquisition does not interleave with the enclosing function's.
+func closureUnit(x *a, y *b) func() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return func() {
+		y.mu.Lock()
+		y.mu.Unlock()
+	}
+}

@@ -1,0 +1,20 @@
+package lockorder_fixture
+
+import "sync"
+
+// pair nodes link to a peer; links are acyclic by construction.
+type pair struct {
+	mu    sync.Mutex
+	other *pair
+}
+
+// link locks a node and its peer. Same lock class with no provable order,
+// but the construction invariant (links never form a cycle) makes it safe.
+//
+//edmlint:allow lockorder pairs are linked acyclically at construction
+func (p *pair) link() {
+	p.mu.Lock()
+	p.other.mu.Lock()
+	p.other.mu.Unlock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+package pooledescape_fixture
+
+var lastMsg *msg
+
+var lastData []byte
+
+// holder outlives any single callback.
+type holder struct {
+	m    *msg
+	data []byte
+}
+
+// stash retains the pooled value in a package-level variable.
+func stash(m *msg) {
+	lastMsg = m // want "stored in package-level variable"
+}
+
+// stashField retains it in a struct field.
+func (h *holder) stashField(m *msg) {
+	h.m = m // want "stored into field m"
+}
+
+// stashData retains a view of pooled memory.
+func (h *holder) stashData(m *msg) {
+	h.data = m.data // want "stored into field data"
+}
+
+// leakChan sends the pooled value to a receiver that outlives the callback.
+func leakChan(m *msg, ch chan *msg) {
+	ch <- m // want "sent on a channel"
+}
+
+// leakGo hands the pooled value to a goroutine.
+func leakGo(m *msg) {
+	go func() { // want "goroutine closure captures callback-scoped m"
+		_ = m.data
+	}()
+}
+
+// history outlives every callback.
+var history []*msg
+
+// leakAppend grows a long-lived log with an owned element. (A []*msg
+// parameter would itself be callback-scoped; the package-level slice is
+// not.)
+func leakAppend(m *msg) {
+	history = append(history, m) // want "appended to a slice that is not callback-scoped"
+}
+
+// leakCallback escapes a callback-scoped argument of an annotated function.
+func leakCallback() {
+	withView(func(b []byte) {
+		lastData = b // want "stored in package-level variable"
+	})
+}
+
+// leakAlias escapes through a local alias of the owned value.
+func leakAlias(m *msg) {
+	alias := m.data
+	lastData = alias // want "stored in package-level variable"
+}

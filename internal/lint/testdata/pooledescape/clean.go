@@ -1,0 +1,47 @@
+// Package pooledescape_fixture exercises the pooledescape analyzer: values
+// of owned types stay inside their callback, and the sanctioned copy
+// idioms pass.
+package pooledescape_fixture
+
+// msg is a pooled record; values are valid only inside their callback.
+//
+//edmlint:owned callback
+type msg struct {
+	data []byte
+}
+
+// clone is the sanctioned copy boundary: a call's result is a fresh value.
+func (m *msg) clone() *msg {
+	return &msg{data: append([]byte(nil), m.data...)}
+}
+
+// useLocally reads an owned value without retaining it.
+func useLocally(m *msg) int {
+	view := m.data // aliasing stays inside the frame
+	return len(view)
+}
+
+// kept holds only explicit copies.
+var kept *msg
+
+// copyOut retains a clone, never the pooled value itself.
+func copyOut(m *msg) {
+	kept = m.clone()
+}
+
+// withView invokes cb with a view of pooled memory; the annotation makes
+// cb's arguments callback-scoped at every call site.
+//
+//edmlint:owned callback
+func withView(cb func(b []byte)) {
+	cb(nil)
+}
+
+// consume uses the view inside the callback only.
+func consume() int {
+	total := 0
+	withView(func(b []byte) {
+		total += len(b)
+	})
+	return total
+}

@@ -1,0 +1,19 @@
+// Package pooledescape_wire proves the owned annotation on the real
+// wire.Msg type is enforced across package boundaries: the fixture imports
+// the production type and retains it the way a buggy Completion would.
+package pooledescape_wire
+
+import "repro/internal/wire"
+
+// lastResponse would retain a pooled response beyond its callback.
+var lastResponse *wire.Msg
+
+type watcher struct {
+	raw []byte
+}
+
+// Done implements wire.Completion and illegally retains the pooled Msg.
+func (w *watcher) Done(m *wire.Msg, err error) {
+	lastResponse = m // want "stored in package-level variable"
+	w.raw = m.Data   // want "stored into field raw"
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ownedScopeCallback is the only //edmlint:owned scope: the value is valid
+// exactly for the duration of the callback that received it.
+const ownedScopeCallback = "callback"
+
+// World is the typed half of the loader: one per LoadPackages call, shared
+// by every Package it produces. It owns the FileSet, resolves imports —
+// module-internal paths from the module's own source, the standard library
+// through go/importer's source importer — and indexes the module-wide
+// //edmlint:owned annotations that pooledescape enforces across package
+// boundaries.
+type World struct {
+	mod  *Module
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	pkgs  map[string]*depPkg // module packages typechecked as dependencies
+	stack []string           // in-flight import chain, for cycle diagnostics
+
+	ownedTypes map[types.Object]bool // type names marked //edmlint:owned callback
+	ownedFuncs map[types.Object]bool // functions marked //edmlint:owned callback
+}
+
+// depPkg memoizes one module package typechecked for import resolution.
+type depPkg struct {
+	pkg *types.Package
+	err error
+}
+
+// noCgo pins the build context to CgoEnabled=false once per process: the
+// source importer then resolves packages like net through their pure-Go
+// fallbacks, independent of whether the host has a C toolchain, and
+// build-constraint matching stays deterministic.
+var noCgo sync.Once
+
+// NewWorld builds the typed loader state for one module.
+func NewWorld(mod *Module) *World {
+	noCgo.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return &World{
+		mod:        mod,
+		fset:       fset,
+		std:        std,
+		pkgs:       make(map[string]*depPkg),
+		ownedTypes: make(map[types.Object]bool),
+		ownedFuncs: make(map[types.Object]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (w *World) Import(path string) (*types.Package, error) {
+	return w.ImportFrom(path, ".", 0)
+}
+
+// ImportFrom implements types.ImporterFrom, splitting module-internal paths
+// (resolved from source under the module root) from everything else (the
+// standard library, via the source importer).
+func (w *World) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == w.mod.Path || strings.HasPrefix(path, w.mod.Path+"/") {
+		return w.modulePkg(path)
+	}
+	if w.std == nil {
+		return nil, fmt.Errorf("no source importer for %q", path)
+	}
+	return w.std.ImportFrom(path, dir, mode)
+}
+
+// modulePkg typechecks a module-internal import path from its non-test
+// sources, memoized. Soft type errors inside a dependency do not fail the
+// import: the returned package is as complete as the checker could make it.
+func (w *World) modulePkg(path string) (*types.Package, error) {
+	if d, ok := w.pkgs[path]; ok {
+		return d.pkg, d.err
+	}
+	for _, s := range w.stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	w.stack = append(w.stack, path)
+	defer func() { w.stack = w.stack[:len(w.stack)-1] }()
+
+	rel := strings.TrimPrefix(path, w.mod.Path)
+	dir := filepath.Join(w.mod.Dir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	files, err := w.parseDir(dir, false)
+	if err == nil && len(files) == 0 {
+		err = fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	if err != nil {
+		w.pkgs[path] = &depPkg{err: err}
+		return nil, err
+	}
+	pkg, _, _ := w.typeCheck(path, files)
+	d := &depPkg{pkg: pkg}
+	if pkg == nil {
+		d.err = fmt.Errorf("typecheck of %s produced no package", path)
+	}
+	w.pkgs[path] = d
+	return d.pkg, d.err
+}
+
+// parseDir parses the directory's buildable .go files into the shared
+// FileSet. Files excluded by build constraints for the current platform are
+// skipped, matching what the compiler would build here.
+func (w *World) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err == nil && !ok {
+			continue
+		}
+		f, err := parser.ParseFile(w.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck runs go/types over one file group, tolerantly: soft errors are
+// collected, not fatal, so analyzers see as much type information as the
+// checker could recover. The group's //edmlint:owned annotations are
+// registered as a side effect.
+func (w *World) typeCheck(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:    w,
+		FakeImportC: true,
+		Error:       func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, w.fset, files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	w.scanOwned(files, info)
+	return pkg, info, errs
+}
+
+// scanOwned registers //edmlint:owned callback annotations on type and
+// function declarations, keyed by their type-checked objects.
+func (w *World) scanOwned(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if hasOwnedDirective(d.Doc) {
+					if obj := info.Defs[d.Name]; obj != nil {
+						w.ownedFuncs[obj] = true
+					}
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				declOwned := hasOwnedDirective(d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declOwned || hasOwnedDirective(ts.Doc) {
+						if obj := info.Defs[ts.Name]; obj != nil {
+							w.ownedTypes[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasOwnedDirective reports whether a doc comment carries a well-formed
+// //edmlint:owned callback directive.
+func hasOwnedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := directiveText(c.Text)
+		if !ok {
+			continue
+		}
+		verb, rest := splitWord(text)
+		if verb != "owned" {
+			continue
+		}
+		if scope, _ := splitWord(rest); scope == ownedScopeCallback {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnedType reports whether t is — or points or slices into — a named type
+// annotated //edmlint:owned callback.
+func (w *World) OwnedType(t types.Type) bool {
+	for t != nil {
+		t = types.Unalias(t)
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Named:
+			return w.ownedTypes[u.Obj()]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// OwnedFunc reports whether obj is a function annotated //edmlint:owned
+// callback: function literals passed to it receive callback-scoped
+// arguments.
+func (w *World) OwnedFunc(obj types.Object) bool {
+	return obj != nil && w.ownedFuncs[obj]
+}
+
+// hasOwned reports whether any owned annotations exist module-wide, letting
+// pooledescape stand down cheaply on unannotated modules.
+func (w *World) hasOwned() bool {
+	return len(w.ownedTypes) > 0 || len(w.ownedFuncs) > 0
+}
+
+// aliasing reports whether values of t can alias heap memory: holding a
+// copy of such a value can retain callback-scoped storage. Basic types and
+// strings are safe to copy anywhere.
+func aliasing(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasing(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return aliasing(u.Elem())
+	default:
+		return false
+	}
+}

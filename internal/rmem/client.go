@@ -253,6 +253,8 @@ func (c *Client) release(failed bool) {
 // pendingOp is the pooled completion record for one in-flight operation: it
 // implements wire.Completion so the hot path needs no per-op closure. Exactly
 // one cb* field is set; Done dispatches to it after recycling the record.
+//
+//edmlint:owned callback
 type pendingOp struct {
 	c     *Client
 	kind  wire.Kind
@@ -382,6 +384,7 @@ func (c *Client) doMsg(wait, countFull bool, m *wire.Msg, cb func(*wire.Msg, err
 // only valid for the duration of the callback — copy to retain.
 //
 //edmlint:hotpath
+//edmlint:owned callback the data slice aliases the pooled response Msg
 func (c *Client) Read(addr uint64, n int, cb func([]byte, error)) error {
 	o := c.getOp()
 	o.cbRead = cb
@@ -437,10 +440,13 @@ func (c *Client) ReadSync(addr uint64, n int) ([]byte, error) {
 	}
 	ch := make(chan res, 1)
 	if err := c.Read(addr, n, func(d []byte, err error) {
+		// Copy into a fresh variable: d aliases the pooled response and
+		// must not leave the callback (pooledescape proves this form).
+		var data []byte
 		if err == nil {
-			d = append([]byte(nil), d...)
+			data = append([]byte(nil), d...)
 		}
-		ch <- res{d, err}
+		ch <- res{data, err}
 	}); err != nil {
 		return nil, err
 	}
@@ -487,6 +493,8 @@ func (c *Client) slotAddr(key int) (uint64, int, error) {
 
 // Get reads the fixed-size slot for key (the kvstore-shaped API). The data
 // slice passed to cb is only valid for the duration of the callback.
+//
+//edmlint:owned callback the data slice aliases the pooled response Msg
 func (c *Client) Get(key int, cb func([]byte, error)) error {
 	addr, n, err := c.slotAddr(key)
 	if err != nil {

@@ -186,6 +186,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if rest := cfg.SlabBytes - uint64(i)*shardBytes; rest < mcfg.Size {
 			mcfg.Size = rest
 		}
+		//edmlint:allow lockcheck shards are not yet published; no other goroutine can observe them
 		shards[i].mem = memctl.New(mcfg)
 	}
 	return &Server{cfg: cfg, metrics: cfg.Metrics,

@@ -196,6 +196,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 //	HELLO:   ID
 //	HELLO-ACK: ID, Status, Data (server geometry, see rmem)
 //	BYE / BYE-ACK: ID
+//
+// Msgs are pooled: a response handed to a callback (and request records
+// recycled by the client) is valid only for the duration of that callback.
+// Retaining one — or a view of its Data — requires an explicit copy
+// (Clone). The pooledescape analyzer enforces this module-wide.
+//
+//edmlint:owned callback
 type Msg struct {
 	Kind   Kind
 	Status Status

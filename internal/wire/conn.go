@@ -106,6 +106,8 @@ type Completion interface {
 // goroutine is inside pipe.Send with it — a record is only recycled when it
 // is done AND no send references it, so a retransmission can never observe
 // a buffer being rewritten for a new call.
+//
+//edmlint:owned callback
 type call struct {
 	id       uint32 // guarded by mu
 	enc      []byte // cached encoding, re-sent verbatim on retry; owned by the record
@@ -197,6 +199,8 @@ func (c *Conn) newCallLocked() *call {
 // freeCallLocked recycles a retired record. Callers must have saved the
 // cb/comp/want/start fields they still need — the record may be handed to a
 // new call the moment the lock drops.
+//
+//edmlint:allow pooledescape the free list is the pool's own storage for retired records
 func (c *Conn) freeCallLocked(cl *call) {
 	cl.cb = nil
 	cl.comp = nil

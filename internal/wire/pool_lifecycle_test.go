@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/lint"
 )
 
 // blackholePipe answers every request except the first one it sees (the
@@ -117,6 +120,42 @@ func TestRetransmitBufferStableUnderChurn(t *testing.T) {
 	}
 	if m.Kind != KindRREQ || m.Addr != 0xabcd || m.Count != 64 {
 		t.Fatalf("victim datagram decoded to %+v", m)
+	}
+}
+
+// TestEscapeAnalyzerCatchesRetention complements the churn test above: the
+// runtime test can only catch a pooled-buffer bug whose corruption it
+// happens to trigger, while the pooledescape analyzer proves the absence of
+// the whole retention class. This drives the analyzer over a fixture that
+// retains a pooled Msg exactly the way a buggy Completion would — storing
+// the message in a global and a slice view of its Data in a field — and
+// asserts both escapes are caught statically.
+func TestEscapeAnalyzerCatchesRetention(t *testing.T) {
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadPackages(mod, []string{"../lint/testdata/pooledescape_wire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	var msgs []string
+	for _, f := range lint.Check(pkgs[0], []*lint.Analyzer{lint.Pooledescape}) {
+		msgs = append(msgs, f.Message)
+	}
+	for _, want := range []string{"stored in package-level variable", "stored into field raw"} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("analyzer missed an escape containing %q; got %v", want, msgs)
+		}
 	}
 }
 

@@ -229,12 +229,14 @@ func udpCallSync(t *testing.T, c *Conn, m *Msg) *Msg {
 		err error
 	}
 	ch := make(chan res, 1)
-	// Clone: the response is pooled and valid only during the callback.
+	// Clone into a fresh variable: the response is pooled and valid only
+	// during the callback.
 	if _, err := c.Call(m, func(r *Msg, err error) {
+		var cp *Msg
 		if r != nil {
-			r = r.Clone()
+			cp = r.Clone()
 		}
-		ch <- res{r, err}
+		ch <- res{cp, err}
 	}); err != nil {
 		t.Fatal(err)
 	}
