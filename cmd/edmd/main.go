@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -34,13 +35,28 @@ func main() {
 	cli.Exit("edmd", run(os.Args[1:], sig, os.Stdout, os.Stderr))
 }
 
+// splitListen parses -listen into a host and a numeric base port (0 means
+// every node binds an ephemeral port).
+func splitListen(listen string) (host string, port int, err error) {
+	host, ps, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", 0, fmt.Errorf("edmd: bad -listen %q: %w", listen, err)
+	}
+	port, err = strconv.Atoi(ps)
+	if err != nil || port < 0 || port > 65535 {
+		return "", 0, fmt.Errorf("edmd: bad -listen port %q", ps)
+	}
+	return host, port, nil
+}
+
 // run is the testable entry point: flags in, lifecycle log out. stop ends
 // the daemon early (main wires it to SIGINT/SIGTERM).
 func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("edmd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:7979", "UDP listen address (host:port; port 0 picks a free one)")
-	slab := fs.Int64("slab", 64<<20, "slab size in bytes")
+	nodes := fs.Int("nodes", 1, "memory nodes served by this process, each its own slab, on consecutive ports from -listen (port 0: all ephemeral)")
+	slab := fs.Int64("slab", 64<<20, "slab size in bytes (per node)")
 	slots := fs.Int("slots", 0, "kv slot count (0 = slab/slotbytes)")
 	slotBytes := fs.Int("slotbytes", 4096, "bytes per kv slot")
 	dupWindow := fs.Int("dup-window", 0, "per-session duplicate-suppression window (0 = default)")
@@ -59,6 +75,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	if *slab <= 0 {
 		return cli.Usagef("-slab must be positive, got %d", *slab)
 	}
+	if *nodes < 1 {
+		return cli.Usagef("-nodes must be at least 1, got %d", *nodes)
+	}
 	if *duration < 0 {
 		return cli.Usagef("-duration must not be negative")
 	}
@@ -76,37 +95,68 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	if *metricsAddr != "" || ring != nil {
 		nowNS = func() int64 { return time.Now().UnixNano() }
 	}
-	srv, err := rmem.NewServer(rmem.ServerConfig{
-		Geometry: rmem.Geometry{
-			SlabBytes: uint64(*slab), Slots: *slots, SlotBytes: *slotBytes,
-		},
-		DupWindow: *dupWindow,
-		Metrics:   rmem.NewServerMetrics(reg),
-		Responder: wire.NewResponderMetrics(reg),
-		NowNS:     nowNS,
-		Trace:     ring,
-	})
+	// One process can host a whole memory cluster: node i gets its own slab
+	// and UDP listener on -listen's port + i (all ephemeral when port 0).
+	// The shared registry makes every log and /metrics series an aggregate
+	// over the nodes.
+	host, basePort, err := splitListen(*listen)
 	if err != nil {
 		return cli.UsageError{S: err.Error()}
 	}
-
-	// Session lifecycle (fresh session per HELLO, retirement on BYE, idle
-	// expiry) is handled by wire.UDPServer itself.
-	us, err := wire.ListenUDP(*listen, func(_ string, reply wire.Pipe) func([]byte) {
-		return srv.NewSession(reply).Deliver
-	})
-	if err != nil {
-		return err
+	servers := make([]*rmem.Server, *nodes)
+	listeners := make([]*wire.UDPServer, *nodes)
+	closeAll := func() {
+		for _, us := range listeners {
+			if us != nil {
+				us.Close()
+			}
+		}
 	}
-	us.SetMetrics(wire.NewUDPServerMetrics(reg))
-	g := srv.Geometry()
-	fmt.Fprintf(stdout, "edmd: listening on %s (slab %d B, %d slots x %d B)\n",
-		us.Addr(), g.SlabBytes, g.Slots, g.SlotBytes)
+	for i := range servers {
+		srv, err := rmem.NewServer(rmem.ServerConfig{
+			Geometry: rmem.Geometry{
+				SlabBytes: uint64(*slab), Slots: *slots, SlotBytes: *slotBytes,
+			},
+			DupWindow: *dupWindow,
+			Metrics:   rmem.NewServerMetrics(reg),
+			Responder: wire.NewResponderMetrics(reg),
+			NowNS:     nowNS,
+			Trace:     ring,
+		})
+		if err != nil {
+			closeAll()
+			return cli.UsageError{S: err.Error()}
+		}
+		addr := net.JoinHostPort(host, strconv.Itoa(0))
+		if basePort != 0 {
+			addr = net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		}
+		// Session lifecycle (fresh session per HELLO, retirement on BYE,
+		// idle expiry) is handled by wire.UDPServer itself.
+		us, err := wire.ListenUDP(addr, func(_ string, reply wire.Pipe) func([]byte) {
+			return srv.NewSession(reply).Deliver
+		})
+		if err != nil {
+			closeAll()
+			return err
+		}
+		us.SetMetrics(wire.NewUDPServerMetrics(reg))
+		servers[i], listeners[i] = srv, us
+		g := srv.Geometry()
+		if *nodes == 1 {
+			fmt.Fprintf(stdout, "edmd: listening on %s (slab %d B, %d slots x %d B)\n",
+				us.Addr(), g.SlabBytes, g.Slots, g.SlotBytes)
+		} else {
+			fmt.Fprintf(stdout, "edmd: node %d listening on %s (slab %d B, %d slots x %d B)\n",
+				i, us.Addr(), g.SlabBytes, g.Slots, g.SlotBytes)
+		}
+	}
+	srv := servers[0]
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			us.Close()
+			closeAll()
 			return fmt.Errorf("edmd: metrics listen %s: %w", *metricsAddr, err)
 		}
 		defer ln.Close()
@@ -122,11 +172,18 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) error {
 	} else {
 		<-stop
 	}
-	if err := us.Close(); err != nil {
-		return err
+	var closeErr error
+	for _, us := range listeners {
+		if err := us.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
+	if closeErr != nil {
+		return closeErr
 	}
 	// The exit log is a view of the same registry the /metrics endpoint
-	// serves: srv.Stats() loads the telemetry counters.
+	// serves: srv.Stats() loads the telemetry counters, which every node's
+	// server shares, so the totals span all -nodes.
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "edmd: served reads %d writes %d rmws %d (%d B out, %d B in), errors %d\n",
 		st.Reads, st.Writes, st.RMWs, st.BytesRead, st.BytesWritten, st.Errors)

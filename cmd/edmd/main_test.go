@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -130,6 +131,68 @@ func TestEdmdServesAndReportsStats(t *testing.T) {
 	} {
 		if !regexp.MustCompile(want).MatchString(log) {
 			t.Errorf("lifecycle log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestEdmdMultiNode boots -nodes 3 in one process, connects to each node,
+// and checks the slabs are independent (same address, different contents).
+func TestEdmdMultiNode(t *testing.T) {
+	out := &syncBuf{}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-nodes", "3", "-slab", "1048576"},
+			stop, out, out)
+	}()
+	t.Cleanup(func() {
+		stop <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not stop on signal")
+		}
+	})
+
+	nodeRe := regexp.MustCompile(`node (\d) listening on (\S+)`)
+	addrs := map[string]string{}
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		for _, m := range nodeRe.FindAllStringSubmatch(out.String(), -1) {
+			addrs[m[1]] = m[2]
+		}
+		if len(addrs) == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("daemon reported %d node addresses, want 3:\n%s", len(addrs), out.String())
+	}
+
+	for i := 0; i < 3; i++ {
+		uc, err := wire.DialUDP(addrs[strconv.Itoa(i)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := rmem.NewClient(uc, rmem.ClientConfig{
+			Retry: wire.ConnConfig{RetryTimeout: 100 * time.Millisecond, MaxRetries: 10}})
+		go uc.Run(client.Deliver)
+		if err := client.Connect(); err != nil {
+			t.Fatalf("connect node %d: %v", i, err)
+		}
+		payload := []byte{byte('A' + i)}
+		if err := client.WriteSync(0, payload); err != nil {
+			t.Fatalf("write node %d: %v", i, err)
+		}
+		got, err := client.ReadSync(0, 1)
+		if err != nil || got[0] != payload[0] {
+			t.Fatalf("node %d slab not independent: %q, %v", i, got, err)
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

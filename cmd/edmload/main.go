@@ -22,12 +22,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/rmem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -55,6 +59,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("edmload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "live endpoint (host:port of an edmd; empty = in-process loopback server)")
+	clusterAddrs := fs.String("cluster", "", "comma-separated edmd addresses: drive the sharded dual-homed cluster service over UDP")
+	evict := fs.Int("evict", 0, "cluster mode: auto-evict a node after N consecutive retry-budget timeouts (0 = off)")
+	metricsAddr := fs.String("metrics", "", "cluster mode: HTTP address serving the client-side /metrics (empty = off)")
 	traceFile := fs.String("trace", "-", "trace file ('-' = stdin)")
 	profile := fs.String("profile", "", "generate a workload instead of reading a trace: hadoop, spark, sparksql, graphlab, memcached, fixed64")
 	nodes := fs.Int("nodes", 16, "generated workload: cluster size")
@@ -93,7 +100,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	} else if set["trace"] {
 		return cli.Usagef("-trace and -profile are mutually exclusive")
 	}
-	if *addr != "" {
+	if *clusterAddrs != "" {
+		if *addr != "" {
+			return cli.Usagef("-addr and -cluster are mutually exclusive")
+		}
+		if len(strings.Split(*clusterAddrs, ",")) < 2 {
+			return cli.Usagef("-cluster needs at least two addresses, got %q", *clusterAddrs)
+		}
+		for _, name := range []string{"slab", "slots", "slotbytes"} {
+			if set[name] {
+				return cli.Usagef("-%s only applies to the loopback endpoint (the live servers own their geometry)", name)
+			}
+		}
+		// The cluster replay is closed-loop at -window depth; pacing and the
+		// single-connection trace ring do not apply.
+		for _, name := range []string{"rate", "progress", "trace-ops"} {
+			if set[name] {
+				return cli.Usagef("-%s does not apply to cluster mode", name)
+			}
+		}
+	} else if set["evict"] || set["metrics"] {
+		return cli.Usagef("-evict and -metrics only apply with -cluster")
+	} else if *addr != "" {
 		for _, name := range []string{"slab", "slots", "slotbytes"} {
 			if set[name] {
 				return cli.Usagef("-%s only applies to the loopback endpoint (the live server owns its geometry)", name)
@@ -162,10 +190,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Retry:  wire.ConnConfig{RetryTimeout: *retry, MaxRetries: maxRetries},
 	}
 	opts := runOpts{progress: *progress, traceN: *traceOps, stderr: stderr}
-	if *addr == "" {
+	switch {
+	case *clusterAddrs != "":
+		return runCluster(ops, source, *seed, strings.Split(*clusterAddrs, ","), *evict, *metricsAddr, ccfg, stdout)
+	case *addr == "":
 		return runLoopback(ops, source, *seed, *slab, *slots, *slotBytes, ccfg, opts, stdout)
+	default:
+		return runLive(ops, source, *seed, *addr, *rate, ccfg, opts, stdout)
 	}
-	return runLive(ops, source, *seed, *addr, *rate, ccfg, opts, stdout)
 }
 
 // runOpts carries the observability knobs into the run loops.
@@ -392,6 +424,157 @@ func runLive(ops []workload.Op, source string, seed uint64, addr string, rate fl
 		elapsed.String(), elapsed.Seconds(), client, nil)
 	opts.dumpTrace(ring)
 	return err
+}
+
+// runCluster replays ops closed-loop at -window depth against the sharded,
+// dual-homed cluster service over N edmd nodes: reads route to each extent's
+// primary and fail over to its mirror, writes go through to both.
+func runCluster(ops []workload.Op, source string, seed uint64, nodeAddrs []string, evict int, metricsAddr string, ccfg rmem.ClientConfig, stdout io.Writer) error {
+	reg := telemetry.NewRegistry()
+	workers := ccfg.Window
+	// A routed op fans out up to two datagrams per node; give the node
+	// clients headroom so concurrent workers do not trip the window.
+	nodeCfg := ccfg
+	nodeCfg.Window = 4 * workers
+	if nodeCfg.Window > rmem.MaxWindow {
+		nodeCfg.Window = rmem.MaxWindow
+	}
+	nodeCfg.NowNS = func() int64 { return time.Now().UnixNano() }
+	clients := make([]*rmem.Client, len(nodeAddrs))
+	closeAll := func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}
+	for i, a := range nodeAddrs {
+		uc, err := wire.DialUDP(a)
+		if err != nil {
+			closeAll()
+			return err
+		}
+		cl := rmem.NewClient(uc, nodeCfg)
+		go uc.Run(cl.Deliver)
+		if err := cl.Connect(); err != nil {
+			uc.Close()
+			closeAll()
+			return fmt.Errorf("edmload: connect node %d (%s): %w", i, a, err)
+		}
+		clients[i] = cl
+	}
+	cc, err := cluster.New(clients, cluster.Config{
+		Seed:      seed,
+		Metrics:   cluster.NewMetrics(reg, len(nodeAddrs)),
+		NowNS:     func() int64 { return time.Now().UnixNano() },
+		AutoEvict: evict,
+	})
+	if err != nil {
+		closeAll()
+		return err
+	}
+	defer cc.Close()
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("edmload: metrics listen %s: %w", metricsAddr, err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, telemetry.AdminMux(reg, nil))
+		fmt.Fprintf(stdout, "edmload: metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	ops, addrs, err := targets(ops, seed, cc.Size())
+	if err != nil {
+		return err
+	}
+	results := make([]opResult, len(ops))
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		buf := make([]byte, wire.MaxData)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				op := ops[i]
+				issue := time.Now()
+				var opErr error
+				if op.Read {
+					_, opErr = cc.ReadSync(addrs[i], op.Size)
+				} else {
+					opErr = cc.WriteSync(addrs[i], buf[:op.Size])
+				}
+				results[i] = opResult{read: op.Read, failed: opErr != nil,
+					bytes: op.Size, ns: float64(time.Since(issue).Nanoseconds())}
+			}
+		}()
+	}
+	start := time.Now()
+	for i := range ops {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return reportCluster(stdout, nodeAddrs, source, results, elapsed, clients, cc)
+}
+
+// reportCluster renders the cluster-mode percentile table: the same latency
+// rows as the single-endpoint report plus the map/replication summary.
+func reportCluster(w io.Writer, nodeAddrs []string, source string, results []opResult, elapsed time.Duration, clients []*rmem.Client, cc *cluster.Client) error {
+	var all, reads, writes []float64
+	var done, failed int
+	var bytesRead, bytesWritten uint64
+	for _, r := range results {
+		if r.failed {
+			failed++
+			continue
+		}
+		done++
+		all = append(all, r.ns)
+		if r.read {
+			reads = append(reads, r.ns)
+			bytesRead += uint64(r.bytes)
+		} else {
+			writes = append(writes, r.ns)
+			bytesWritten += uint64(r.bytes)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "endpoint\tcluster %s\n", strings.Join(nodeAddrs, ","))
+	fmt.Fprintf(tw, "source\t%s\n", source)
+	fmt.Fprintf(tw, "operations\tissued %d done %d failed %d\n", len(results), done, failed)
+	fmt.Fprintf(tw, "horizon\t%s\n", elapsed)
+	fmt.Fprintf(tw, "data\tread %d B written %d B\n", bytesRead, bytesWritten)
+	if s := stats.Summarize(all); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (all)\t%s\n", s.Row())
+	}
+	if s := stats.Summarize(reads); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (reads)\t%s\n", s.Row())
+	}
+	if s := stats.Summarize(writes); s.N > 0 {
+		fmt.Fprintf(tw, "latency (ns) (writes)\t%s\n", s.Row())
+	}
+	if elapsed > 0 {
+		fmt.Fprintf(tw, "throughput\t%.0f ops/s\n", float64(done)/elapsed.Seconds())
+	}
+	var cs wire.ConnStats
+	for _, cl := range clients {
+		c := cl.ConnStats()
+		cs.Sent += c.Sent
+		cs.Retransmit += c.Retransmit
+		cs.Timeouts += c.Timeouts
+	}
+	fmt.Fprintf(tw, "transport\tsent %d retransmits %d timeouts %d\n",
+		cs.Sent, cs.Retransmit, cs.Timeouts)
+	m := cc.Metrics()
+	fmt.Fprintf(tw, "cluster\tnodes %d extents %d x %d B epoch %d\n",
+		len(clients), cc.Map().Extents(), cc.ExtentBytes(), cc.Epoch())
+	fmt.Fprintf(tw, "cluster faults\tfailovers %d splits %d evictions %d\n",
+		m.Failovers.Load(), m.SplitOps.Load(), m.Evictions.Load())
+	return tw.Flush()
 }
 
 // report renders the percentile table, mirroring cmd/edmsim's summary rows.

@@ -110,6 +110,12 @@ func TestEdmloadUsageErrors(t *testing.T) {
 		{"-profile", "nope"},                       // unknown profile
 		{"-addr", "h:1", "-slab", "64"},            // loopback geometry with live endpoint
 		{"stray"},                                  // unexpected positional
+		{"-addr", "h:1", "-cluster", "h:2,h:3"},    // conflicting endpoints
+		{"-cluster", "h:1"},                        // a cluster needs two nodes
+		{"-cluster", "h:1,h:2", "-slab", "64"},     // live servers own their geometry
+		{"-cluster", "h:1,h:2", "-rate", "100"},    // cluster replay is closed-loop
+		{"-evict", "3"},                            // cluster knob without -cluster
+		{"-metrics", "127.0.0.1:0"},                // cluster knob without -cluster
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -163,6 +169,38 @@ func TestLiveEndpoint(t *testing.T) {
 	}
 	if st := srv.Stats(); st.Reads == 0 || st.Writes == 0 {
 		t.Errorf("server never saw traffic: %+v", st)
+	}
+}
+
+// TestClusterEndpoint drives the dual-homed cluster service over four real
+// UDP servers and checks the report's cluster summary and /metrics endpoint.
+func TestClusterEndpoint(t *testing.T) {
+	var addrs []string
+	var servers []*rmem.Server
+	for i := 0; i < 4; i++ {
+		addr, srv := startServer(t)
+		addrs = append(addrs, addr)
+		servers = append(servers, srv)
+	}
+	out := load(t, makeTrace(t, 7), "-cluster", strings.Join(addrs, ","),
+		"-window", "4", "-metrics", "127.0.0.1:0", "-retry", "100ms", "-retries", "10")
+	for _, want := range []string{
+		`endpoint\s+cluster ` + regexp.QuoteMeta(strings.Join(addrs, ",")),
+		`operations\s+issued \d+ done \d+ failed 0`,
+		`latency \(ns\) \(all\)`,
+		`cluster\s+nodes 4 extents \d+ x \d+ B epoch 0`,
+		`cluster faults\s+failovers 0 splits \d+ evictions 0`,
+		`edmload: metrics on http://`,
+	} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Dual-homed write-through: every node serves traffic.
+	for i, srv := range servers {
+		if st := srv.Stats(); st.Reads+st.Writes == 0 {
+			t.Errorf("node %d never saw traffic: %+v", i, st)
+		}
 	}
 }
 

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memctl"
+	"repro/internal/rmem"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+const (
+	testSlabBytes   = 4 << 20
+	testExtentBytes = 64 << 10
+)
+
+// testNode is one in-process memory node with a kill switch: dead nodes drop
+// every datagram, so requests to them burn the retry budget.
+type testNode struct {
+	cl   *rmem.Client
+	dead atomic.Bool
+}
+
+// newTestCluster builds a connected cluster over n loopback nodes with a
+// tight retry budget (a dead-node sub fails over in ~2ms).
+func newTestCluster(t *testing.T, n int, cfg Config) (*Client, []*testNode) {
+	t.Helper()
+	if cfg.ExtentBytes == 0 {
+		cfg.ExtentBytes = testExtentBytes
+	}
+	nodes := make([]*testNode, n)
+	clients := make([]*rmem.Client, n)
+	for i := 0; i < n; i++ {
+		tn := &testNode{}
+		srv, err := rmem.NewServer(rmem.ServerConfig{Geometry: rmem.Geometry{SlabBytes: testSlabBytes}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := wire.NewLoopback(wire.LoopbackConfig{
+			Fault: func(sim.Time, wire.Dir, []byte) wire.Fault {
+				if tn.dead.Load() {
+					return wire.FaultDrop
+				}
+				return wire.FaultNone
+			},
+		})
+		cl := rmem.NewClient(lb.ClientPipe(), rmem.ClientConfig{
+			Window: 8,
+			Retry:  wire.ConnConfig{RetryTimeout: time.Millisecond, MaxRetries: 1},
+		})
+		lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+		lb.BindClient(cl.Deliver)
+		if err := cl.Connect(); err != nil {
+			t.Fatal(err)
+		}
+		tn.cl = cl
+		nodes[i], clients[i] = tn, cl
+	}
+	cc, err := New(clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return cc, nodes
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	return b
+}
+
+func TestClusterRoundTripSplit(t *testing.T) {
+	cc, _ := newTestCluster(t, 4, Config{Seed: 42})
+	// Spans the extent 0 / extent 1 boundary: routed as two segments, very
+	// likely to two different primaries.
+	addr := uint64(testExtentBytes) - 100
+	want := pattern(200, 3)
+	if err := cc.WriteSync(addr, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := cc.ReadSync(addr, len(want))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("split round trip corrupted data")
+	}
+	if n := cc.Metrics().SplitOps.Load(); n != 2 {
+		t.Fatalf("split ops %d, want 2 (one write + one read)", n)
+	}
+}
+
+func TestClusterWriteThrough(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	addr := uint64(2 * testExtentBytes)
+	want := pattern(128, 9)
+	if err := cc.WriteSync(addr, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	e, err := cc.Map().Locate(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri, mir := cc.Map().Extent(e)
+	// Identity address mapping: the same address on both replicas.
+	for _, n := range []int{pri, mir} {
+		got, err := nodes[n].cl.ReadSync(addr, len(want))
+		if err != nil {
+			t.Fatalf("direct read node %d: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d replica does not hold the written data", n)
+		}
+	}
+}
+
+func TestClusterReadFailover(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	addr := uint64(5 * testExtentBytes)
+	want := pattern(256, 1)
+	if err := cc.WriteSync(addr, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	e, _ := cc.Map().Locate(addr)
+	pri, _ := cc.Map().Extent(e)
+	nodes[pri].dead.Store(true)
+	got, err := cc.ReadSync(addr, len(want))
+	if err != nil {
+		t.Fatalf("read with dead primary: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover read returned wrong data")
+	}
+	if n := cc.Metrics().Failovers.Load(); n == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestClusterKillMirrorLosesNoAcks(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	addr := uint64(7 * testExtentBytes)
+	e, _ := cc.Map().Locate(addr)
+	pri, mir := cc.Map().Extent(e)
+	nodes[mir].dead.Store(true)
+	// Every write is acked by the primary alone; none may fail.
+	want := pattern(64, 5)
+	for i := 0; i < 4; i++ {
+		if err := cc.WriteSync(addr+uint64(i)*64, want); err != nil {
+			t.Fatalf("write %d with dead mirror: %v", i, err)
+		}
+	}
+	got, err := nodes[pri].cl.ReadSync(addr, 64)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("primary lost an acked write: %v", err)
+	}
+	if n := cc.Metrics().Failovers.Load(); n == 0 {
+		t.Fatal("one-replica writes not counted as failovers")
+	}
+}
+
+func TestClusterRMWWriteThrough(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	addr := uint64(3 * testExtentBytes)
+	v, err := cc.RMWSync(addr, memctl.OpFetchAdd, 5)
+	if err != nil || v != 0 {
+		t.Fatalf("fetchadd = %d, %v; want 0", v, err)
+	}
+	v, err = cc.RMWSync(addr, memctl.OpFetchAdd, 5)
+	if err != nil || v != 5 {
+		t.Fatalf("second fetchadd = %d, %v; want 5", v, err)
+	}
+	e, _ := cc.Map().Locate(addr)
+	_, mir := cc.Map().Extent(e)
+	// The computed stored value is written through before the callback, so
+	// the mirror already holds 10.
+	got, err := nodes[mir].cl.RMWSync(addr, memctl.OpFetchAdd, 0)
+	if err != nil || got != 10 {
+		t.Fatalf("mirror holds %d, %v; want 10", got, err)
+	}
+}
+
+func TestClusterRMWFailover(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	addr := uint64(9 * testExtentBytes)
+	if _, err := cc.RMWSync(addr, memctl.OpSwap, 77); err != nil {
+		t.Fatalf("seed swap: %v", err)
+	}
+	e, _ := cc.Map().Locate(addr)
+	pri, _ := cc.Map().Extent(e)
+	nodes[pri].dead.Store(true)
+	v, err := cc.RMWSync(addr, memctl.OpFetchAdd, 1)
+	if err != nil {
+		t.Fatalf("RMW with dead primary: %v", err)
+	}
+	if v != 77 {
+		t.Fatalf("failover RMW saw %d, want the mirrored 77", v)
+	}
+	if n := cc.Metrics().Failovers.Load(); n == 0 {
+		t.Fatal("RMW failover not counted")
+	}
+}
+
+func TestClusterAllReplicasDead(t *testing.T) {
+	cc, nodes := newTestCluster(t, 2, Config{Seed: 1})
+	// Two nodes: every extent is homed on both; killing both strands all.
+	nodes[0].dead.Store(true)
+	nodes[1].dead.Store(true)
+	_, err := cc.ReadSync(0, 64)
+	if err == nil {
+		t.Fatal("read with every replica dead succeeded")
+	}
+	if !errors.Is(err, rmem.ErrDeadline) {
+		t.Fatalf("err = %v, want a rmem.ErrDeadline", err)
+	}
+	if err := cc.WriteSync(0, make([]byte, 64)); !errors.Is(err, rmem.ErrDeadline) {
+		t.Fatalf("write err = %v, want a rmem.ErrDeadline", err)
+	}
+}
+
+//edmlint:allow walltime the test polls for the asynchronous eviction under real wall-clock deadlines
+func TestClusterAutoEvict(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42, AutoEvict: 2})
+	const dead = 1
+	nodes[dead].dead.Store(true)
+	// Find an extent homed on the dead node and hammer it until the deadline
+	// streak evicts the node and the epoch advances.
+	m := cc.Map()
+	addr := uint64(0)
+	for e := 0; e < m.Extents(); e++ {
+		if pri, _ := m.Extent(e); pri == dead {
+			addr = uint64(e) * cc.ExtentBytes()
+			break
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cc.Epoch() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-evict never advanced the epoch")
+		}
+		_, _ = cc.ReadSync(addr, 64)
+	}
+	for wait := time.Now().Add(5 * time.Second); cc.Map().Alive(dead); {
+		if time.Now().After(wait) {
+			t.Fatal("epoch advanced but node still alive")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Routed ops now avoid the dead node entirely: no more failovers needed.
+	before := cc.Metrics().Failovers.Load()
+	if _, err := cc.ReadSync(addr, 64); err != nil {
+		t.Fatalf("read after eviction: %v", err)
+	}
+	if n := cc.Metrics().Failovers.Load(); n != before {
+		t.Fatal("post-eviction read still failed over")
+	}
+}
+
+func TestClusterRebalanceRemirrors(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
+	// Seed every extent with a known pattern through the cluster.
+	want := pattern(64, 11)
+	for e := 0; e < cc.Map().Extents(); e++ {
+		if err := cc.WriteSync(uint64(e)*cc.ExtentBytes(), want); err != nil {
+			t.Fatalf("seed extent %d: %v", e, err)
+		}
+	}
+	const dead = 2
+	nodes[dead].dead.Store(true)
+	old, cur, err := cc.MarkDead(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cc.Rebalance(old, cur)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("%d extents lost on a single-node death", st.Lost)
+	}
+	if st.Extents == 0 || st.Bytes == 0 {
+		t.Fatalf("rebalance moved nothing: %+v", st)
+	}
+	// Every extent is again dual-homed with the data present on both homes.
+	m := cc.Map()
+	for e := 0; e < m.Extents(); e++ {
+		addr := uint64(e) * cc.ExtentBytes()
+		pri, mir := m.Extent(e)
+		for _, n := range []int{pri, mir} {
+			got, err := nodes[n].cl.ReadSync(addr, 64)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("extent %d replica on node %d missing after rebalance: %v", e, n, err)
+			}
+		}
+	}
+}

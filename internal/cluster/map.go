@@ -1,0 +1,244 @@
+// Package cluster stripes one flat address space across N memory nodes and
+// survives node death, reproducing the paper's §3.3 dual-homing story at the
+// service layer: every fixed-size extent of the address space is assigned to
+// a primary and a mirror node (never the same node), writes go through to
+// both, and reads fail over to the mirror when the primary's retry budget
+// runs out. The assignment is a versioned, seed-deterministic rendezvous
+// hash, so joins and leaves move only the extents that must move and every
+// routing decision is stamped with the map epoch that produced it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultExtentBytes is the extent size when Config leaves it zero: large
+// enough that almost no op spans a boundary, small enough that a 16-node map
+// over a modest slab still spreads load.
+const DefaultExtentBytes = 1 << 20
+
+// Map errors.
+var (
+	// ErrTooFewNodes rejects maps (or leaves) that cannot dual-home: every
+	// extent needs two distinct alive nodes.
+	ErrTooFewNodes = errors.New("cluster: fewer than two alive nodes")
+	// ErrBadExtent rejects addresses outside the cluster address space.
+	ErrBadExtent = errors.New("cluster: address outside cluster space")
+)
+
+// Map is an immutable, seed-deterministic assignment of extents to a
+// (primary, mirror) node pair. Leave and Join return a successor map with
+// the epoch advanced; they never mutate the receiver, so a Map can be read
+// without locks once published.
+type Map struct {
+	seed        uint64
+	size        uint64 // cluster address space in bytes
+	extentBytes uint64
+	epoch       uint64
+	alive       []bool // indexed by node
+	primary     []int  // indexed by extent
+	mirror      []int  // indexed by extent
+}
+
+// NewMap builds the epoch-0 map: size bytes of address space in extents of
+// extentBytes (0 takes DefaultExtentBytes), dual-homed over nodes alive
+// nodes. size is rounded up to a whole number of extents.
+func NewMap(seed, size, extentBytes uint64, nodes int) (*Map, error) {
+	if extentBytes == 0 {
+		extentBytes = DefaultExtentBytes
+	}
+	if size == 0 || extentBytes == 0 {
+		return nil, fmt.Errorf("cluster: zero-size map (size %d, extent %d)", size, extentBytes)
+	}
+	if nodes < 2 {
+		return nil, fmt.Errorf("%w: %d", ErrTooFewNodes, nodes)
+	}
+	extents := int((size + extentBytes - 1) / extentBytes)
+	m := &Map{
+		seed:        seed,
+		size:        uint64(extents) * extentBytes,
+		extentBytes: extentBytes,
+		alive:       make([]bool, nodes),
+		primary:     make([]int, extents),
+		mirror:      make([]int, extents),
+	}
+	for n := range m.alive {
+		m.alive[n] = true
+	}
+	m.assign()
+	return m, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// used as the rendezvous weight hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// weight ranks node for extent: highest-random-weight (rendezvous) hashing.
+// A node's weight for an extent never changes, so removing one node only
+// reassigns the extents it was ranked first or second for — the
+// consistent-hash minimal-movement property without a ring.
+func (m *Map) weight(extent, node int) uint64 {
+	return mix64(m.seed ^ mix64(uint64(extent)+0x9e3779b97f4a7c15) ^ mix64(uint64(node)+0x2545f4914f6cdd1d))
+}
+
+// assign recomputes primary/mirror for every extent from the alive set.
+func (m *Map) assign() {
+	for e := range m.primary {
+		best, second := -1, -1
+		var bestW, secondW uint64
+		for n := range m.alive {
+			if !m.alive[n] {
+				continue
+			}
+			w := m.weight(e, n)
+			switch {
+			case best < 0 || w > bestW:
+				second, secondW = best, bestW
+				best, bestW = n, w
+			case second < 0 || w > secondW:
+				second, secondW = n, w
+			}
+		}
+		m.primary[e] = best
+		m.mirror[e] = second
+	}
+}
+
+// clone copies the map with the epoch advanced by one.
+func (m *Map) clone() *Map {
+	c := &Map{
+		seed:        m.seed,
+		size:        m.size,
+		extentBytes: m.extentBytes,
+		epoch:       m.epoch + 1,
+		alive:       append([]bool(nil), m.alive...),
+		primary:     append([]int(nil), m.primary...),
+		mirror:      append([]int(nil), m.mirror...),
+	}
+	return c
+}
+
+// Leave returns the successor map without node. It fails with ErrTooFewNodes
+// when fewer than two alive nodes would remain, and is a pure epoch bump if
+// the node is already dead.
+func (m *Map) Leave(node int) (*Map, error) {
+	if node < 0 || node >= len(m.alive) {
+		return nil, fmt.Errorf("cluster: leave of unknown node %d", node)
+	}
+	c := m.clone()
+	c.alive[node] = false
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d after node %d leaves", ErrTooFewNodes, n, node)
+	}
+	c.assign()
+	return c, nil
+}
+
+// Join returns the successor map with node alive again (or for the first
+// time, when the initial map was built excluding it via Leave).
+func (m *Map) Join(node int) (*Map, error) {
+	if node < 0 || node >= len(m.alive) {
+		return nil, fmt.Errorf("cluster: join of unknown node %d", node)
+	}
+	c := m.clone()
+	c.alive[node] = true
+	c.assign()
+	return c, nil
+}
+
+// Epoch is the map version; every successor map advances it by one.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Size is the cluster address space in bytes (a whole number of extents).
+func (m *Map) Size() uint64 { return m.size }
+
+// ExtentBytes is the extent size.
+func (m *Map) ExtentBytes() uint64 { return m.extentBytes }
+
+// Extents is the extent count.
+func (m *Map) Extents() int { return len(m.primary) }
+
+// Nodes is the total node count (alive or not).
+func (m *Map) Nodes() int { return len(m.alive) }
+
+// Alive reports whether node is in the alive set.
+func (m *Map) Alive(node int) bool { return node >= 0 && node < len(m.alive) && m.alive[node] }
+
+// AliveCount is the number of alive nodes.
+func (m *Map) AliveCount() int {
+	n := 0
+	for _, a := range m.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Locate maps an address to its extent index.
+//
+//edmlint:hotpath one lookup per routed segment
+func (m *Map) Locate(addr uint64) (int, error) {
+	if addr >= m.size {
+		return 0, ErrBadExtent
+	}
+	return int(addr / m.extentBytes), nil
+}
+
+// Extent returns extent e's (primary, mirror) pair.
+//
+//edmlint:hotpath one lookup per routed segment
+func (m *Map) Extent(e int) (primary, mirror int) { return m.primary[e], m.mirror[e] }
+
+// Move describes one extent whose replica set changed between two maps:
+// From is a surviving holder to copy from (-1 when both old holders are
+// gone — the data for that extent is lost), To are the nodes that must
+// receive a copy.
+type Move struct {
+	Extent int
+	From   int
+	To     []int
+}
+
+// Diff computes, in extent order, the copies needed to bring cur's replica
+// placement up to date from old. Only extents with at least one new holder
+// appear.
+func Diff(old, cur *Map) []Move {
+	var moves []Move
+	for e := range cur.primary {
+		op, om := old.primary[e], old.mirror[e]
+		var to []int
+		for _, n := range []int{cur.primary[e], cur.mirror[e]} {
+			if n != op && n != om {
+				to = append(to, n)
+			}
+		}
+		if len(to) == 0 {
+			continue
+		}
+		from := -1
+		// Prefer the old primary as the copy source; it has the
+		// authoritative value even if a mirror write was lost.
+		if op >= 0 && cur.Alive(op) {
+			from = op
+		} else if om >= 0 && cur.Alive(om) {
+			from = om
+		}
+		moves = append(moves, Move{Extent: e, From: from, To: to})
+	}
+	return moves
+}

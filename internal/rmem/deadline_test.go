@@ -1,0 +1,53 @@
+package rmem
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestErrDeadlineTyped pins the retry-budget-exhaustion contract: the error
+// matches both rmem.ErrDeadline (the service-level triage the cluster layer
+// keys failover on) and wire.ErrTimeout (the transport cause), while status
+// errors from the server do not masquerade as deadlines.
+func TestErrDeadlineTyped(t *testing.T) {
+	var dark atomic.Bool
+	fault := func(sim.Time, wire.Dir, []byte) wire.Fault {
+		if dark.Load() {
+			return wire.FaultDrop
+		}
+		return wire.FaultNone
+	}
+	_, client, _ := loopClient(t, nil,
+		ClientConfig{Window: 4, Retry: wire.ConnConfig{RetryTimeout: time.Millisecond, MaxRetries: 1}},
+		fault)
+
+	// A server status error (out-of-range read) is NOT a deadline.
+	_, err := client.ReadSync(1<<60, 64)
+	if err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Fatalf("status error %v matches ErrDeadline", err)
+	}
+
+	// Darken the link: the retry budget burns down and the failure is typed.
+	dark.Store(true)
+	_, err = client.ReadSync(0, 64)
+	if err == nil {
+		t.Fatal("read over dark link succeeded")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want match for rmem.ErrDeadline", err)
+	}
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("err = %v, want the wire.ErrTimeout cause preserved", err)
+	}
+	if err := client.WriteSync(0, make([]byte, 8)); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("write err = %v, want match for rmem.ErrDeadline", err)
+	}
+}

@@ -1,0 +1,396 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/edm"
+	"repro/internal/rmem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Cluster backend sizing: a slab small enough that a re-mirror pass is a
+// bounded slice of the run, with enough extents (64 at these sizes) that a
+// killed node always holds a few.
+const (
+	clusterSlabBytes   = 32 << 20
+	clusterExtentBytes = 512 << 10
+)
+
+// clusterRetry tightens the reliable layer for cluster runs: every op that
+// touches a dead node burns the whole budget in wall time before failing
+// over, so the budget is kept to a few milliseconds.
+var clusterRetry = wire.ConnConfig{RetryTimeout: time.Millisecond, MaxRetries: 2}
+
+// clusterFaults is the shared fault state consulted by every memory node's
+// loopback hook. Hooks on different loopbacks run concurrently (each under
+// its own loopback lock), hence the mutex.
+type clusterFaults struct {
+	mu   sync.Mutex
+	cur  *workload.Op       // guarded by mu: op whose datagrams are on the wire
+	dead []bool             // guarded by mu: killed (or not-yet-joined) nodes
+	down map[int][]interval // static: LinkDown windows per memory node
+	// rate and kind are built before any hook runs and never change after;
+	// each window's seen counter advances only while mu is held.
+	rate []*rateWindow
+	kind map[*rateWindow]EventKind
+}
+
+// hook builds memory node n's fault adjudicator. Death drops everything —
+// including the membership driver's traffic — while the window faults match
+// the current op's arrival time, as on the single-node live backend.
+func (fs *clusterFaults) hook(n int) func(sim.Time, wire.Dir, []byte) wire.Fault {
+	return func(_ sim.Time, _ wire.Dir, _ []byte) wire.Fault {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		if fs.dead[n] {
+			return wire.FaultDrop
+		}
+		op := fs.cur
+		if op == nil {
+			return wire.FaultNone // handshake, teardown, rebalance traffic
+		}
+		if _, hit := covering(fs.down[n], op.Arrival); hit {
+			return wire.FaultDrop
+		}
+		for _, w := range fs.rate {
+			if w.node != n || op.Arrival < w.start || op.Arrival >= w.end {
+				continue
+			}
+			w.seen++
+			if w.seen%w.oneIn == 0 {
+				if fs.kind[w] == DropBurst {
+					return wire.FaultDrop
+				}
+				return wire.FaultCorrupt
+			}
+		}
+		return wire.FaultNone
+	}
+}
+
+func (fs *clusterFaults) setCur(op *workload.Op) {
+	fs.mu.Lock()
+	fs.cur = op
+	fs.mu.Unlock()
+}
+
+func (fs *clusterFaults) setDead(n int, dead bool) {
+	fs.mu.Lock()
+	fs.dead[n] = dead
+	fs.mu.Unlock()
+}
+
+// clusterAction is one membership step of the replay: kill darkens a node's
+// transport at the event time, recover advances the map epoch and
+// re-mirrors after DetectDelay, join does both at once for an arrival.
+type clusterAction struct {
+	at   sim.Time
+	kind EventKind // NodeLeave (kill), "recover" reuses NodeLeave with detect=true, NodeJoin
+	node int
+	// detect marks the post-DetectDelay half of a NodeLeave: the epoch
+	// advance + rebalance, as opposed to the transport going dark.
+	detect bool
+}
+
+// runLiveCluster executes the scenario against the dual-homed cluster
+// service: MemNodes in-process rmem servers, each behind its own loopback,
+// all charging one shared virtual clock so the whole fabric has a single
+// deterministic timebase, fronted by a cluster.Client. The trace is
+// replayed closed-loop; membership events interleave at their arrival
+// times. With one op in flight, retransmissions and failover re-issues
+// serialize, so reports are byte-reproducible for a fixed spec.
+func runLiveCluster(spec *Spec) (*Report, error) {
+	part := workload.NewPartition(spec.Seed)
+	tagged, bounds, horizon, err := buildTrace(part, spec)
+	if err != nil {
+		return nil, err
+	}
+	memN := spec.MemNodes
+	events := append(append([]Event(nil), spec.Events...),
+		expandChaos(part.Sub("chaos"), spec.Chaos, memN, horizon)...)
+	sortEvents(events)
+
+	// Window faults: LinkDown flaps darken one node's link transiently (its
+	// replica peers carry the load — no epoch change); bursts degrade it.
+	flapW, _ := outageWindows(events)
+	fs := &clusterFaults{
+		dead: make([]bool, memN),
+		down: map[int][]interval{},
+		kind: map[*rateWindow]EventKind{},
+	}
+	for n := 0; n < memN; n++ {
+		iv := append([]interval(nil), flapW[n]...)
+		sortIntervals(iv)
+		fs.down[n] = mergeIntervals(iv)
+	}
+	for _, e := range events {
+		if e.Kind != CorruptBurst && e.Kind != DropBurst {
+			continue
+		}
+		oneIn := e.OneIn
+		if oneIn == 0 {
+			oneIn = 64
+		}
+		w := &rateWindow{interval: interval{e.At, e.Until}, node: e.Node, oneIn: oneIn}
+		fs.rate = append(fs.rate, w)
+		fs.kind[w] = e.Kind
+	}
+
+	// Membership actions, in arrival order.
+	var acts []clusterAction
+	for _, e := range events {
+		switch e.Kind {
+		case NodeLeave:
+			acts = append(acts, clusterAction{at: e.At, kind: NodeLeave, node: e.Node})
+			acts = append(acts, clusterAction{at: e.At + spec.DetectDelay, kind: NodeLeave, node: e.Node, detect: true})
+		case NodeJoin:
+			acts = append(acts, clusterAction{at: e.At, kind: NodeJoin, node: e.Node})
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].at < acts[j].at })
+
+	// One shared clock across every node's transport: each delivered or
+	// dropped datagram anywhere in the cluster charges the same timebase.
+	clock := wire.NewVirtualClock()
+	nowNS := func() int64 { return int64(clock.Now() / sim.Nanosecond) }
+	clients := make([]*rmem.Client, memN)
+	lbs := make([]*wire.Loopback, memN)
+	for n := 0; n < memN; n++ {
+		srv, err := rmem.NewServer(rmem.ServerConfig{Geometry: rmem.Geometry{SlabBytes: clusterSlabBytes}})
+		if err != nil {
+			return nil, err
+		}
+		lb := wire.NewLoopback(wire.LoopbackConfig{Fault: fs.hook(n), Clock: clock})
+		cl := rmem.NewClient(lb.ClientPipe(), rmem.ClientConfig{Window: 4, Retry: clusterRetry})
+		lb.BindServer(srv.NewSession(lb.ServerPipe()).Deliver)
+		lb.BindClient(cl.Deliver)
+		if err := cl.Connect(); err != nil {
+			return nil, err
+		}
+		clients[n], lbs[n] = cl, lb
+	}
+	cc, err := cluster.New(clients, cluster.Config{
+		Seed:        spec.Seed,
+		ExtentBytes: clusterExtentBytes,
+		NowNS:       nowNS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ccm := cc.Metrics()
+
+	// Nodes with a pending join start outside the membership (and dark).
+	for _, e := range events {
+		if e.Kind == NodeJoin {
+			fs.setDead(e.Node, true)
+			if _, _, err := cc.MarkDead(e.Node); err != nil {
+				return nil, fmt.Errorf("scenario %s: initial join set: %w", spec.Name, err)
+			}
+		}
+	}
+
+	// Membership driver state.
+	var (
+		rebalances int
+		movedBytes uint64
+		lostExt    int
+		recoveryUS []float64
+	)
+	actIdx := 0
+	applyActs := func(upTo sim.Time) error {
+		for actIdx < len(acts) && acts[actIdx].at <= upTo {
+			a := acts[actIdx]
+			actIdx++
+			clock.AdvanceTo(a.at)
+			switch {
+			case a.kind == NodeLeave && !a.detect:
+				fs.setDead(a.node, true)
+			case a.kind == NodeLeave:
+				old, cur, err := cc.MarkDead(a.node)
+				if err != nil {
+					return fmt.Errorf("scenario %s: node %d leave: %w", spec.Name, a.node, err)
+				}
+				st, err := cc.Rebalance(old, cur)
+				if err != nil {
+					return fmt.Errorf("scenario %s: rebalance after node %d leave: %w", spec.Name, a.node, err)
+				}
+				rebalances++
+				movedBytes += st.Bytes
+				lostExt += st.Lost
+				recoveryUS = append(recoveryUS,
+					(spec.DetectDelay + sim.Time(st.DurNS)*sim.Nanosecond).Microseconds())
+			case a.kind == NodeJoin:
+				fs.setDead(a.node, false)
+				old, cur, err := cc.Rejoin(a.node)
+				if err != nil {
+					return fmt.Errorf("scenario %s: node %d join: %w", spec.Name, a.node, err)
+				}
+				st, err := cc.Rebalance(old, cur)
+				if err != nil {
+					return fmt.Errorf("scenario %s: rebalance after node %d join: %w", spec.Name, a.node, err)
+				}
+				rebalances++
+				movedBytes += st.Bytes
+				lostExt += st.Lost
+				recoveryUS = append(recoveryUS, (sim.Time(st.DurNS) * sim.Nanosecond).Microseconds())
+			}
+		}
+		return nil
+	}
+
+	// Closed-loop replay on the shared clock, as on the live backend.
+	type opDone struct {
+		ok       bool
+		failover bool
+		latency  sim.Time
+	}
+	results := make([]opDone, len(tagged))
+	addrs := part.Stream("addr")
+	addrSpace := cc.Size() - maxFabricMsg
+	buf := make([]byte, maxFabricMsg)
+
+	sumConn := func() wire.ConnStats {
+		var s wire.ConnStats
+		for _, cl := range clients {
+			cs := cl.ConnStats()
+			s.Sent += cs.Sent
+			s.Retransmit += cs.Retransmit
+			s.Timeouts += cs.Timeouts
+		}
+		return s
+	}
+	sumLB := func() wire.LoopbackStats {
+		var s wire.LoopbackStats
+		for _, lb := range lbs {
+			ls := lb.Stats()
+			s.Delivered += ls.Delivered
+			s.Dropped += ls.Dropped
+			s.Corrupted += ls.Corrupted
+		}
+		return s
+	}
+	type wireSnap struct {
+		cs wire.ConnStats
+		ls wire.LoopbackStats
+	}
+	deltas := make([]WireDelta, len(spec.Phases))
+	lastPhase := -1
+	var snap wireSnap
+	boundary := func(next int) {
+		s := wireSnap{sumConn(), sumLB()}
+		if lastPhase >= 0 {
+			d := &deltas[lastPhase]
+			d.Sent += s.cs.Sent - snap.cs.Sent
+			d.Retransmits += s.cs.Retransmit - snap.cs.Retransmit
+			d.Timeouts += s.cs.Timeouts - snap.cs.Timeouts
+			d.Dropped += s.ls.Dropped - snap.ls.Dropped
+			d.Corrupted += s.ls.Corrupted - snap.ls.Corrupted
+		}
+		snap, lastPhase = s, next
+	}
+	boundary(-1)
+	for i := range tagged {
+		op := tagged[i].op
+		if tagged[i].meta.phase != lastPhase {
+			boundary(tagged[i].meta.phase)
+		}
+		if err := applyActs(op.Arrival); err != nil {
+			return nil, err
+		}
+		if op.Size > maxFabricMsg {
+			op.Size = maxFabricMsg
+		}
+		addr := (addrs.Uint64() % addrSpace) &^ 63
+		clock.AdvanceTo(op.Arrival)
+		fs.setCur(&op)
+		start := clock.Now()
+		foBefore := ccm.Failovers.Load()
+		var opErr error
+		if op.Read {
+			_, opErr = cc.ReadSync(addr, op.Size)
+		} else {
+			opErr = cc.WriteSync(addr, buf[:op.Size])
+		}
+		fs.setCur(nil)
+		results[i] = opDone{
+			ok:       opErr == nil,
+			failover: ccm.Failovers.Load() > foBefore,
+			latency:  clock.Now() - start,
+		}
+	}
+	// Membership changes scheduled past the last arrival still run (a kill
+	// near the horizon must finish its re-mirror before the report).
+	if err := applyActs(horizon + spec.DetectDelay); err != nil {
+		return nil, err
+	}
+	boundary(-1)
+	liveHorizon := clock.Now()
+	connStats := sumConn()
+	lbStats := sumLB()
+	cc.Close()
+
+	rep := &Report{
+		Scenario: spec.Name, Backend: spec.Backend, Protocol: "EDM",
+		Nodes: spec.Nodes, Seed: spec.Seed,
+		Horizon: liveHorizon, Issued: len(tagged),
+		Events:   len(events),
+		Timeouts: connStats.Timeouts,
+		Links: edm.LinkStats{
+			Sent:      lbStats.Delivered,
+			Dropped:   lbStats.Dropped,
+			Corrupted: lbStats.Corrupted,
+		},
+		Cluster: &ClusterReport{
+			MemNodes:    memN,
+			Extents:     cc.Map().Extents(),
+			ExtentBytes: cc.ExtentBytes(),
+			FinalEpoch:  cc.Epoch(),
+			Failovers:   ccm.Failovers.Load(),
+			Rebalances:  rebalances,
+			MovedBytes:  movedBytes,
+			LostExtents: lostExt,
+			RecoveryUS:  stats.Summarize(recoveryUS),
+		},
+	}
+	type phaseAcc struct{ absNs []float64 }
+	acc := make([]phaseAcc, len(spec.Phases))
+	var recovery []float64
+	prs := make([]PhaseReport, len(spec.Phases))
+	for i, ph := range spec.Phases {
+		prs[i].Name = ph.Name
+		prs[i].Start = bounds[i].start
+		prs[i].End = bounds[i].end
+		prs[i].Wire = &deltas[i]
+	}
+	for i, t := range tagged {
+		pr := &prs[t.meta.phase]
+		pr.Issued++
+		r := results[i]
+		if r.ok {
+			rep.Completed++
+			pr.Done++
+			acc[t.meta.phase].absNs = append(acc[t.meta.phase].absNs, r.latency.Nanoseconds())
+			if r.failover {
+				pr.Failover++
+				rep.Failovers++
+				recovery = append(recovery, r.latency.Microseconds())
+			}
+		} else {
+			rep.Dropped++
+			pr.Dropped++
+		}
+	}
+	rep.Recovery = stats.Summarize(recovery)
+	for i := range prs {
+		prs[i].AbsNs = stats.Summarize(acc[i].absNs)
+	}
+	rep.Phases = prs
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLiveClusterDeterministic runs the built-in 16-node live-cluster
+// scenario (a node is killed mid-run) twice: the dual-homed service over N
+// loopbacks must lose zero ops, recover within the retry budget, and render
+// byte-identical reports.
+func TestLiveClusterDeterministic(t *testing.T) {
+	run := func() (*Report, string) {
+		rep, err := Run(Builtin("live-cluster"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.String()
+	}
+	rep, a := run()
+	_, b := run()
+	if a != b {
+		t.Fatalf("live-cluster backend not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if rep.Backend != BackendLiveCluster {
+		t.Fatalf("backend %q", rep.Backend)
+	}
+	if rep.Completed != rep.Issued || rep.Dropped != 0 {
+		t.Fatalf("a mid-run node kill must lose zero ops on a dual-homed cluster: %+v", rep)
+	}
+	c := rep.Cluster
+	if c == nil {
+		t.Fatal("no cluster section in a live-cluster report")
+	}
+	if c.MemNodes != 16 {
+		t.Fatalf("mem nodes %d", c.MemNodes)
+	}
+	if c.Failovers == 0 {
+		t.Error("killing a node triggered no failovers")
+	}
+	if c.FinalEpoch == 0 {
+		t.Error("node kill never advanced the map epoch")
+	}
+	if c.Rebalances == 0 || c.MovedBytes == 0 {
+		t.Errorf("node kill triggered no re-mirroring: %+v", c)
+	}
+	if c.LostExtents != 0 {
+		t.Errorf("%d extents lost on a single-node kill", c.LostExtents)
+	}
+	// Recovery is bounded: detection delay plus the re-mirror pass, well
+	// under the virtual run horizon.
+	if c.RecoveryUS.N == 0 || sim.Time(c.RecoveryUS.Max*float64(sim.Microsecond)) > rep.Horizon {
+		t.Errorf("recovery unbounded or unmeasured: %+v (horizon %v)", c.RecoveryUS, rep.Horizon)
+	}
+	if !strings.Contains(a, "cluster faults") {
+		t.Errorf("report rendering missing cluster lines:\n%s", a)
+	}
+}
+
+// TestLiveClusterJoin: a node that joins mid-run starts outside the
+// membership, is admitted at the event time, and receives its extents.
+func TestLiveClusterJoin(t *testing.T) {
+	spec := &Spec{
+		Name: "cluster-join", Backend: BackendLiveCluster, Nodes: 4, MemNodes: 4, Seed: 9,
+		Phases: []Phase{
+			{Name: "p", Count: 300, Load: 0.3, ReadFrac: 0.5, Profile: "fixed64"},
+		},
+		Events: []Event{
+			{Kind: NodeJoin, Node: 3, At: 3 * sim.Microsecond},
+		},
+	}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("join lost %d ops", rep.Dropped)
+	}
+	c := rep.Cluster
+	// Pre-darkened leave (epoch 1) plus the join (epoch 2).
+	if c.FinalEpoch != 2 {
+		t.Fatalf("final epoch %d, want 2", c.FinalEpoch)
+	}
+	if c.Rebalances != 1 || c.MovedBytes == 0 {
+		t.Fatalf("join did not re-mirror onto the new node: %+v", c)
+	}
+}
+
+// TestLiveClusterValidate: the backend requires at least two memory nodes
+// and defaults MemNodes to Nodes.
+func TestLiveClusterValidate(t *testing.T) {
+	s := &Spec{Name: "v", Backend: BackendLiveCluster, Nodes: 4,
+		Phases: []Phase{{Count: 10, Load: 0.5, Profile: "fixed64"}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemNodes != 4 {
+		t.Fatalf("MemNodes default %d, want Nodes", s.MemNodes)
+	}
+	bad := &Spec{Name: "v", Backend: BackendLiveCluster, Nodes: 4, MemNodes: 1,
+		Phases: []Phase{{Count: 10, Load: 0.5, Profile: "fixed64"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("single-node cluster accepted")
+	}
+	// Events must target memory nodes, not compute nodes.
+	evt := &Spec{Name: "v", Backend: BackendLiveCluster, Nodes: 2, MemNodes: 8,
+		Phases: []Phase{{Count: 10, Load: 0.5, Profile: "fixed64"}},
+		Events: []Event{{Kind: NodeLeave, Node: 7, At: sim.Microsecond}}}
+	if err := evt.Validate(); err != nil {
+		t.Fatalf("event on memory node 7 of 8 rejected: %v", err)
+	}
+}

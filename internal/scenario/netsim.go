@@ -22,6 +22,8 @@ func Run(spec *Spec) (*Report, error) {
 		return runFabric(spec)
 	case BackendLive:
 		return runLive(spec)
+	case BackendLiveCluster:
+		return runLiveCluster(spec)
 	default:
 		return runNetsim(spec)
 	}

@@ -64,7 +64,26 @@ type Report struct {
 	Recovery stats.Summary
 	Events   int           // fault events applied (authored + chaos)
 	Links    edm.LinkStats // fabric backend: aggregate link fault counters
-	Phases   []PhaseReport
+	// Cluster is the live-cluster backend's map/replication summary; nil on
+	// the other backends.
+	Cluster *ClusterReport
+	Phases  []PhaseReport
+}
+
+// ClusterReport summarizes the cluster layer of a live-cluster run.
+type ClusterReport struct {
+	MemNodes    int
+	Extents     int
+	ExtentBytes uint64
+	FinalEpoch  uint64 // map epoch after all membership changes
+	Failovers   uint64 // segments that survived on one replica or re-routed
+	Rebalances  int    // membership changes that triggered a re-mirror pass
+	MovedBytes  uint64 // bytes copied to new extent holders
+	LostExtents int    // extents whose every holder died (should be 0)
+	// RecoveryUS summarizes, per membership change, the virtual time from
+	// the failure to full re-mirroring: the spec's DetectDelay plus the
+	// measured rebalance duration (joins contribute just the re-mirror).
+	RecoveryUS stats.Summary
 }
 
 // Format renders the report as an aligned text table.
@@ -89,6 +108,15 @@ func (r *Report) Format(w io.Writer) error {
 	}
 	if r.Recovery.N > 0 {
 		fmt.Fprintf(tw, "recovery (us)\t%s\n", r.Recovery.Row())
+	}
+	if c := r.Cluster; c != nil {
+		fmt.Fprintf(tw, "cluster\tmem nodes %d extents %d x %d B epoch %d\n",
+			c.MemNodes, c.Extents, c.ExtentBytes, c.FinalEpoch)
+		fmt.Fprintf(tw, "cluster faults\tfailovers %d rebalances %d moved %d B lost %d\n",
+			c.Failovers, c.Rebalances, c.MovedBytes, c.LostExtents)
+		if c.RecoveryUS.N > 0 {
+			fmt.Fprintf(tw, "cluster recovery (us)\t%s\n", c.RecoveryUS.Row())
+		}
 	}
 	for _, p := range r.Phases {
 		fmt.Fprintf(tw, "phase %s\t[%v, %v) issued %d done %d corrupt %d failover %d dropped %d\n",

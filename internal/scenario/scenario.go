@@ -40,6 +40,15 @@ const (
 	// datagram drops/corruptions recovered by retransmission. Reports are
 	// deterministic functions of the spec, like the other backends.
 	BackendLive Backend = "live"
+	// BackendLiveCluster runs the dual-homed cluster service: MemNodes rmem
+	// memory nodes, each behind its own loopback transport, all charging one
+	// shared virtual clock, fronted by a cluster.Client that stripes the
+	// address space by extent. Fault events target memory nodes: NodeLeave
+	// kills a node's transport for good (failover + epoch advance +
+	// re-mirroring after DetectDelay), NodeJoin brings one in, and the
+	// window events darken or degrade one node's link. Reports stay
+	// deterministic functions of the spec.
+	BackendLiveCluster Backend = "live-cluster"
 )
 
 // FailoverPolicy is what happens to flow-level ops that hit a dead link.
@@ -133,7 +142,11 @@ type Spec struct {
 	Description string  `json:"description,omitempty"`
 	Backend     Backend `json:"backend"`
 	Nodes       int     `json:"nodes"`
-	Seed        uint64  `json:"seed"`
+	// MemNodes is the memory-node count on the live-cluster backend (the
+	// cluster being striped over); fault events there target memory nodes.
+	// Zero defaults to Nodes. Ignored by the other backends.
+	MemNodes int    `json:"mem_nodes,omitempty"`
+	Seed     uint64 `json:"seed"`
 	// Protocol picks the netsim protocol model (EDM, IRD, pFabric, PFC,
 	// DCTCP, CXL, Fastpass). Ignored by the fabric backend, which always
 	// runs the EDM block-level stack.
@@ -156,20 +169,31 @@ func (s *Spec) Validate() error {
 	if s.Backend == "" {
 		s.Backend = BackendNetsim
 	}
-	if s.Backend != BackendNetsim && s.Backend != BackendFabric && s.Backend != BackendLive {
+	if s.Backend != BackendNetsim && s.Backend != BackendFabric &&
+		s.Backend != BackendLive && s.Backend != BackendLiveCluster {
 		return fmt.Errorf("scenario %s: unknown backend %q", s.Name, s.Backend)
 	}
 	if s.Nodes < 2 {
 		return fmt.Errorf("scenario %s: nodes=%d", s.Name, s.Nodes)
 	}
+	if s.Backend == BackendLiveCluster {
+		if s.MemNodes == 0 {
+			s.MemNodes = s.Nodes
+		}
+		if s.MemNodes < 2 {
+			return fmt.Errorf("scenario %s: mem_nodes=%d (dual-homing needs 2)", s.Name, s.MemNodes)
+		}
+	} else {
+		s.MemNodes = 0
+	}
 	if s.Protocol == "" {
 		s.Protocol = "EDM"
 	}
 	if s.Bandwidth <= 0 {
-		if s.Backend == BackendFabric || s.Backend == BackendLive {
-			s.Bandwidth = 25
-		} else {
+		if s.Backend == BackendNetsim {
 			s.Bandwidth = 100
+		} else {
+			s.Bandwidth = 25
 		}
 	}
 	if s.MTU <= 0 {
@@ -201,9 +225,15 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: phase %d: %w", s.Name, i, err)
 		}
 	}
+	// Fault events target memory nodes on the cluster backend, fabric/flow
+	// nodes everywhere else.
+	eventNodes := s.Nodes
+	if s.Backend == BackendLiveCluster {
+		eventNodes = s.MemNodes
+	}
 	for i, e := range s.Events {
-		if e.Node < 0 || e.Node >= s.Nodes {
-			return fmt.Errorf("scenario %s: event %d node=%d of %d", s.Name, i, e.Node, s.Nodes)
+		if e.Node < 0 || e.Node >= eventNodes {
+			return fmt.Errorf("scenario %s: event %d node=%d of %d", s.Name, i, e.Node, eventNodes)
 		}
 		switch e.Kind {
 		case LinkDown, CorruptBurst, DropBurst:
@@ -347,6 +377,27 @@ func Builtins() []*Spec {
 			Events: []Event{
 				{Kind: DropBurst, Node: 2, At: 3 * sim.Microsecond, Until: 5 * sim.Microsecond, OneIn: 4},
 				{Kind: CorruptBurst, Node: 5, At: 6 * sim.Microsecond, Until: 8 * sim.Microsecond, OneIn: 4},
+			},
+		},
+		{
+			Name:        "live-cluster",
+			Description: "16-node dual-homed cluster over loopback transports sharing one virtual clock; a mid-run node kill exercises read failover, write-through, and extent re-mirroring",
+			Backend:     BackendLiveCluster,
+			Nodes:       16,
+			MemNodes:    16,
+			Seed:        1,
+			// Short detection keeps the failover window (where every op
+			// touching the dead node burns a real retry budget) a bounded
+			// slice of the trace.
+			DetectDelay: 2 * sim.Microsecond,
+			Phases: []Phase{
+				// ~150 ops/node at load 0.3 spans ~10 us of virtual time,
+				// so the kill below lands mid-trace with the recovery
+				// inside the run.
+				{Name: "steady", Count: 2400, Load: 0.3, ReadFrac: 0.5, Profile: "fixed64"},
+			},
+			Events: []Event{
+				{Kind: NodeLeave, Node: 5, At: 5 * sim.Microsecond},
 			},
 		},
 		{

@@ -42,6 +42,50 @@ type LoopbackConfig struct {
 	// Fault, when non-nil, adjudicates every datagram. It runs with the
 	// loopback lock held and must not call back into the loopback.
 	Fault func(now sim.Time, dir Dir, p []byte) Fault
+	// Clock, when non-nil, is a shared virtual clock: several loopbacks
+	// charging one clock model parallel links of one deterministic fabric
+	// (the cluster backend's N memory-node transports). Nil gets a private
+	// clock, the single-link behaviour.
+	Clock *VirtualClock
+}
+
+// VirtualClock is a monotonic virtual time source shared by one or more
+// loopbacks. Each delivered or dropped datagram charges it, so with a
+// closed-loop driver every reading is a pure function of the datagram
+// sequence — the property that keeps seeded loopback runs byte-identical
+// even when the address space is striped over many transports.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now sim.Time // guarded by mu
+}
+
+// NewVirtualClock builds a clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now reads the clock.
+func (c *VirtualClock) Now() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past).
+func (c *VirtualClock) AdvanceTo(t sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// advance charges d to the clock and returns the new reading.
+//
+//edmlint:hotpath one charge per loopback datagram
+func (c *VirtualClock) advance(d sim.Time) sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
 }
 
 // LoopbackStats counts loopback datagram outcomes.
@@ -63,7 +107,7 @@ type LoopbackStats struct {
 type Loopback struct {
 	mu     sync.Mutex
 	cfg    LoopbackConfig
-	now    sim.Time        // guarded by mu
+	clock  *VirtualClock   // shared or private; charged under mu (lock order: mu -> clock.mu)
 	recv   [2]func([]byte) // indexed by Dir: ToServer, ToClient; guarded by mu
 	stats  LoopbackStats   // guarded by mu
 	closed bool            // guarded by mu
@@ -78,7 +122,11 @@ func NewLoopback(cfg LoopbackConfig) *Loopback {
 	if cfg.PerByte <= 0 {
 		cfg.PerByte = 80 * sim.Picosecond
 	}
-	return &Loopback{cfg: cfg}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewVirtualClock()
+	}
+	return &Loopback{cfg: cfg, clock: clock}
 }
 
 // BindServer routes client->server datagrams (typically Responder.Deliver).
@@ -96,21 +144,11 @@ func (l *Loopback) BindClient(recv func([]byte)) {
 }
 
 // Now reads the virtual clock.
-func (l *Loopback) Now() sim.Time {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.now
-}
+func (l *Loopback) Now() sim.Time { return l.clock.Now() }
 
 // AdvanceTo moves the virtual clock forward to t (no-op if t is in the
 // past); the load generator uses it to honour trace arrival times.
-func (l *Loopback) AdvanceTo(t sim.Time) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if t > l.now {
-		l.now = t
-	}
-}
+func (l *Loopback) AdvanceTo(t sim.Time) { l.clock.AdvanceTo(t) }
 
 // Stats returns a snapshot of the datagram counters.
 func (l *Loopback) Stats() LoopbackStats {
@@ -142,10 +180,10 @@ func (e *end) Send(p []byte) error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
-	l.now += l.cfg.BaseLatency + sim.Time(len(p))*l.cfg.PerByte
+	now := l.clock.advance(l.cfg.BaseLatency + sim.Time(len(p))*l.cfg.PerByte)
 	verdict := FaultNone
 	if l.cfg.Fault != nil {
-		verdict = l.cfg.Fault(l.now, e.dir, p)
+		verdict = l.cfg.Fault(now, e.dir, p)
 	}
 	recv := l.recv[e.dir]
 	out := p
