@@ -25,9 +25,11 @@ type Config struct {
 	// Seed determines the extent assignment; equal seeds over equal node
 	// counts produce identical maps.
 	Seed uint64
-	// Size is the cluster address space in bytes (rounded up to whole
-	// extents). Zero adopts the smallest node slab, so every node can hold
-	// any extent under the identity address mapping.
+	// Size is the cluster address space in bytes. It is rounded down to
+	// whole extents (a partial tail extent would route addresses past the
+	// configured space) and must fit the smallest node slab, so every node
+	// can hold any extent under the identity address mapping. Zero adopts
+	// the smallest node slab.
 	Size uint64
 	// ExtentBytes is the striping grain (default DefaultExtentBytes). It
 	// must be a multiple of 8 so an aligned RMW word never spans extents.
@@ -69,10 +71,12 @@ type Client struct {
 	ops  sync.Pool
 	subs sync.Pool
 
-	mu     sync.Mutex
-	m      *Map  // guarded by mu: the active route table
-	streak []int // guarded by mu: consecutive deadline completions per node (auto-evict)
-	closed bool  // guarded by mu
+	mu         sync.Mutex
+	m          *Map  // guarded by mu: the active route table
+	streak     []int // guarded by mu: consecutive deadline completions per node (auto-evict)
+	pendingOld *Map  // guarded by mu: baseline of a failed background rebalance awaiting retry
+	rebalBusy  bool  // guarded by mu: a background rebalance retry is in flight
+	closed     bool  // guarded by mu
 }
 
 // New builds a cluster client over connected node clients (Connect each
@@ -95,9 +99,18 @@ func New(nodes []*rmem.Client, cfg Config) (*Client, error) {
 				cfg.Size = s
 			}
 		}
-		// Whole extents only: a partial tail extent would route addresses
-		// past the end of the smallest slab.
-		cfg.Size -= cfg.Size % cfg.ExtentBytes
+	}
+	// Whole extents only, so the map, checkRange, and Rebalance all agree
+	// on the addressable space and never touch past-the-end addresses.
+	cfg.Size -= cfg.Size % cfg.ExtentBytes
+	if cfg.Size == 0 {
+		return nil, fmt.Errorf("cluster: size smaller than one extent (%d)", cfg.ExtentBytes)
+	}
+	for i, n := range nodes {
+		// Geometry is only advertised after Connect; zero means unknown.
+		if s := n.Geometry().SlabBytes; s > 0 && cfg.Size > s {
+			return nil, fmt.Errorf("cluster: size %d exceeds node %d slab %d", cfg.Size, i, s)
+		}
 	}
 	m, err := NewMap(cfg.Seed, cfg.Size, cfg.ExtentBytes, len(nodes))
 	if err != nil {
@@ -220,7 +233,9 @@ func (c *Client) noteOK(node int) {
 // noteDeadline counts a retry-budget timeout against node and, at the
 // auto-evict threshold, kicks off an eviction + rebalance in the
 // background. The threshold fires on equality so one burst of timeouts
-// evicts once.
+// evicts once. Deadlines below the threshold re-arm the retry of any
+// earlier failed background rebalance, so affected extents do not stay
+// single-homed until the next membership change.
 func (c *Client) noteDeadline(node int) {
 	if c.cfg.AutoEvict <= 0 {
 		return
@@ -228,9 +243,15 @@ func (c *Client) noteDeadline(node int) {
 	c.mu.Lock()
 	c.streak[node]++
 	hit := c.streak[node] == c.cfg.AutoEvict && c.m.Alive(node) && c.m.AliveCount() > 2
+	retry := !hit && c.pendingOld != nil && !c.rebalBusy
+	if retry {
+		c.rebalBusy = true
+	}
 	c.mu.Unlock()
 	if hit {
 		go c.evict(node)
+	} else if retry {
+		go c.retryRebalance()
 	}
 }
 
@@ -240,8 +261,40 @@ func (c *Client) evict(node int) {
 	if err != nil {
 		return
 	}
-	// Best-effort: a failed copy leaves the next deadline to re-trigger.
-	_, _ = c.Rebalance(old, cur)
+	c.rebalancePass(old, cur)
+}
+
+// retryRebalance re-runs a failed background rebalance against the current
+// map. The caller (noteDeadline) has already set rebalBusy.
+func (c *Client) retryRebalance() {
+	c.mu.Lock()
+	cur := c.m
+	c.mu.Unlock()
+	c.rebalancePass(cur, cur)
+	c.mu.Lock()
+	c.rebalBusy = false
+	c.mu.Unlock()
+}
+
+// rebalancePass runs one background rebalance, widening the baseline to
+// that of any earlier failed pass so its outstanding copies are retried
+// too. A failure bumps cluster_rebalance_errors_total and keeps the
+// baseline for the next retry (a later deadline or epoch change).
+func (c *Client) rebalancePass(old, cur *Map) {
+	c.mu.Lock()
+	if c.pendingOld != nil {
+		old = c.pendingOld
+		c.pendingOld = nil
+	}
+	c.mu.Unlock()
+	if _, err := c.Rebalance(old, cur); err != nil {
+		c.metrics.RebalanceErrors.Inc()
+		c.mu.Lock()
+		if c.pendingOld == nil {
+			c.pendingOld = old
+		}
+		c.mu.Unlock()
+	}
 }
 
 // opKind is a subOp's request flavour.
@@ -370,9 +423,12 @@ func (c *Client) altFor(s *subOp) (int, bool) {
 		return 0, false
 	}
 	pri, mir := m.Extent(e)
-	// Prefer the mirror (the usual failover), fall back to the primary
-	// (this sub targeted a mirror, or the map already re-homed the extent).
-	for _, n := range [2]int{mir, pri} {
+	// Try the current primary first. Under the routing epoch the primary IS
+	// s.node, so the n != s.node filter falls through to the mirror (the
+	// usual failover); after a re-home the promoted primary is the old
+	// mirror — the replica that holds the data — while the new mirror may be
+	// an empty node the rebalance has not reached yet, and must not serve.
+	for _, n := range [2]int{pri, mir} {
 		if n >= 0 && n != s.node && m.Alive(n) {
 			return n, true
 		}
@@ -487,16 +543,18 @@ func (o *clusterOp) finish() {
 			}
 		}
 	}
-	if o.failovers > 0 {
-		c.metrics.Failovers.Add(uint64(o.failovers))
-	} else {
-		// Replica misses on segments that still acked are failovers too:
-		// the op survived on one home of a dual-homed extent.
-		for i := range o.segs {
-			if o.segs[i].acks > 0 && o.segs[i].fails > 0 {
-				c.metrics.Failovers.Inc()
-			}
+	failovers := o.failovers
+	// Replica misses on segments that still acked are failovers too: the op
+	// survived on one home of a dual-homed extent. (A segment never counts
+	// twice — an explicitly re-routed sub only reaches subDone with its
+	// final outcome, so a re-route that acked leaves fails at zero.)
+	for i := range o.segs {
+		if o.segs[i].acks > 0 && o.segs[i].fails > 0 {
+			failovers++
 		}
+	}
+	if failovers > 0 {
+		c.metrics.Failovers.Add(uint64(failovers))
 	}
 	silent := o.silent
 	data, rmwVal := o.data, o.rmwVal

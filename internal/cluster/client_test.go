@@ -262,6 +262,116 @@ func TestClusterAutoEvict(t *testing.T) {
 	}
 }
 
+// TestClusterFailoverTargetAfterRehome pins the failover preference order.
+// Under the routing epoch a timed-out primary fails over to the mirror; but
+// once the map re-homes an extent (the old mirror promoted to primary, a
+// fresh node as the new mirror), an in-flight op that timed out on the dead
+// old primary must fail over to the promoted primary — the replica holding
+// the data — never to the not-yet-rebalanced empty mirror.
+func TestClusterFailoverTargetAfterRehome(t *testing.T) {
+	cc, _ := newTestCluster(t, 4, Config{Seed: 42})
+	old := cc.Map()
+	// Same-epoch sanity: each replica's alternative is the other replica.
+	for e := 0; e < old.Extents(); e++ {
+		pri, mir := old.Extent(e)
+		addr := uint64(e) * cc.ExtentBytes()
+		if alt, ok := cc.altFor(&subOp{addr: addr, node: pri}); !ok || alt != mir {
+			t.Fatalf("extent %d: primary timeout failed over to %d (%v), want mirror %d", e, alt, ok, mir)
+		}
+		if alt, ok := cc.altFor(&subOp{addr: addr, node: mir}); !ok || alt != pri {
+			t.Fatalf("extent %d: mirror timeout failed over to %d (%v), want primary %d", e, alt, ok, pri)
+		}
+	}
+	const dead = 1
+	if _, _, err := cc.MarkDead(dead); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < old.Extents(); e++ {
+		pri, mir := old.Extent(e)
+		if pri != dead {
+			continue
+		}
+		// An op routed under the old epoch whose retry budget expired on the
+		// dead primary after the re-home: the only replica with the data is
+		// the promoted old mirror.
+		alt, ok := cc.altFor(&subOp{addr: uint64(e) * cc.ExtentBytes(), node: dead})
+		if !ok {
+			t.Fatalf("extent %d: no failover target after re-home", e)
+		}
+		if alt != mir {
+			t.Fatalf("extent %d: failover chose node %d, want the promoted old mirror %d (the replica holding the data)", e, alt, mir)
+		}
+	}
+}
+
+// TestClusterRebalanceFailureSurfacedAndRetried exercises the background
+// rebalance failure path: a pass whose copy source is unreachable must bump
+// cluster_rebalance_errors_total and keep its baseline, and a later deadline
+// completion must re-arm a retry that finishes the outstanding copies.
+//
+//edmlint:allow walltime the test polls for the background retry under real wall-clock deadlines
+func TestClusterRebalanceFailureSurfacedAndRetried(t *testing.T) {
+	cc, nodes := newTestCluster(t, 4, Config{Seed: 42, AutoEvict: 100})
+	want := pattern(64, 7)
+	for e := 0; e < cc.Map().Extents(); e++ {
+		if err := cc.WriteSync(uint64(e)*cc.ExtentBytes(), want); err != nil {
+			t.Fatalf("seed extent %d: %v", e, err)
+		}
+	}
+	const dead = 1
+	nodes[dead].dead.Store(true)
+	old, cur, err := cc.MarkDead(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := Diff(old, cur)
+	if len(moves) == 0 {
+		t.Fatal("no moves after a node death")
+	}
+	// Kill the first move's copy source so the pass fails on its first copy.
+	src := moves[0].From
+	nodes[src].dead.Store(true)
+	cc.rebalancePass(old, cur)
+	if n := cc.Metrics().RebalanceErrors.Load(); n == 0 {
+		t.Fatal("failed rebalance pass not counted in cluster_rebalance_errors_total")
+	}
+	cc.mu.Lock()
+	pending := cc.pendingOld != nil
+	cc.mu.Unlock()
+	if !pending {
+		t.Fatal("failed pass dropped its baseline; retry impossible")
+	}
+	// Revive the source; the next deadline completion on any node re-arms
+	// the retry in the background.
+	nodes[src].dead.Store(false)
+	cc.noteDeadline(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cc.mu.Lock()
+		done := cc.pendingOld == nil && !cc.rebalBusy
+		cc.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background rebalance retry never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every re-homed extent is dual-homed again with the data on both homes.
+	m := cc.Map()
+	for _, mv := range moves {
+		addr := uint64(mv.Extent) * cc.ExtentBytes()
+		pri, mir := m.Extent(mv.Extent)
+		for _, n := range []int{pri, mir} {
+			got, err := nodes[n].cl.ReadSync(addr, 64)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("extent %d replica on node %d missing after retried rebalance: %v", mv.Extent, n, err)
+			}
+		}
+	}
+}
+
 func TestClusterRebalanceRemirrors(t *testing.T) {
 	cc, nodes := newTestCluster(t, 4, Config{Seed: 42})
 	// Seed every extent with a known pattern through the cluster.

@@ -43,18 +43,20 @@ type Map struct {
 
 // NewMap builds the epoch-0 map: size bytes of address space in extents of
 // extentBytes (0 takes DefaultExtentBytes), dual-homed over nodes alive
-// nodes. size is rounded up to a whole number of extents.
+// nodes. size is rounded down to a whole number of extents — never up, so
+// Map.Size() only ever reports space the backing slabs actually hold — and
+// must cover at least one extent.
 func NewMap(seed, size, extentBytes uint64, nodes int) (*Map, error) {
 	if extentBytes == 0 {
 		extentBytes = DefaultExtentBytes
 	}
-	if size == 0 || extentBytes == 0 {
-		return nil, fmt.Errorf("cluster: zero-size map (size %d, extent %d)", size, extentBytes)
-	}
 	if nodes < 2 {
 		return nil, fmt.Errorf("%w: %d", ErrTooFewNodes, nodes)
 	}
-	extents := int((size + extentBytes - 1) / extentBytes)
+	extents := int(size / extentBytes)
+	if extents == 0 {
+		return nil, fmt.Errorf("cluster: size %d smaller than one extent (%d)", size, extentBytes)
+	}
 	m := &Map{
 		seed:        seed,
 		size:        uint64(extents) * extentBytes,

@@ -28,6 +28,10 @@ type Metrics struct {
 	RebalanceExtents *telemetry.Counter
 	RebalanceBytes   *telemetry.Counter
 	RebalanceNS      *telemetry.Histogram
+	// RebalanceErrors counts failed background rebalance passes. A non-zero
+	// value with no later successful pass means some extents are still
+	// single-homed; a manual Rebalance repairs them.
+	RebalanceErrors *telemetry.Counter
 }
 
 // NewMetrics registers the cluster client family (`cluster_*`) in r for a
@@ -42,6 +46,7 @@ func NewMetrics(r *telemetry.Registry, nodes int) *Metrics {
 		RebalanceExtents: r.Counter("cluster_rebalance_extents_total"),
 		RebalanceBytes:   r.Counter("cluster_rebalance_bytes_total"),
 		RebalanceNS:      r.Histogram("cluster_rebalance_duration_ns"),
+		RebalanceErrors:  r.Counter("cluster_rebalance_errors_total"),
 	}
 	m.NodeOps = make([]*telemetry.Counter, nodes)
 	for n := range m.NodeOps {
